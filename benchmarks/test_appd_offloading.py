@@ -1,0 +1,24 @@
+"""Appendix D: subtree sub-operation batch size and offloading."""
+
+from repro.bench.experiments import appd_offload_ablation
+
+from _shared import QUICK, report, tabulate
+
+
+def test_appd_offloading(benchmark):
+    kwargs = dict(directory_size=1_024, batch_sizes=(64, 256)) if QUICK else {}
+    rows = benchmark.pedantic(
+        appd_offload_ablation, kwargs=kwargs, rounds=1, iterations=1
+    )
+    report(
+        "appd",
+        "Appendix D — subtree mv latency (ms) vs batch size",
+        tabulate(
+            ["batch size", "offloaded", "local only"],
+            [[r["batch_size"], r["offload"], r["local"]] for r in rows],
+        ),
+    )
+    # Offloading sub-operation batches to helper NameNodes beats
+    # executing everything on the (small) leader.
+    wins = sum(1 for r in rows if r["offload"] <= r["local"] * 1.05)
+    assert wins >= len(rows) - 1

@@ -1,0 +1,39 @@
+"""Figure 9: cumulative monetary cost over the 25k Spotify run."""
+
+from _shared import report, spotify_runs_25k, tabulate
+
+
+def test_fig9_cumulative_cost(benchmark):
+    runs = benchmark.pedantic(spotify_runs_25k, rounds=1, iterations=1)
+    lam = runs["lambda"]
+    hops = runs.get("hopsfs")
+    cache = runs.get("hopsfs_cache")
+
+    hops_by_t = dict(hops.cost_timeline) if hops else {}
+    cache_by_t = dict(cache.cost_timeline) if cache else {}
+    # λFS (Simplified) is charged for provisioned lifetime; we scale
+    # the final simplified figure along the pay-per-use curve, which
+    # matches how the two accumulate in lockstep.
+    scale = (
+        lam.simplified_cost_usd / max(lam.final_cost_usd, 1e-12)
+        if lam.simplified_cost_usd else 0.0
+    )
+    rows = [
+        [int(t / 1000), cost, cost * scale, hops_by_t.get(t, ""), cache_by_t.get(t, "")]
+        for t, cost in lam.cost_timeline[::3]
+    ]
+    report(
+        "fig9",
+        "Figure 9 — cumulative cost (USD)",
+        tabulate(
+            ["t (s)", "λFS", "λFS (Simplified)", "HopsFS", "HopsFS+Cache"], rows
+        ),
+    )
+
+    if hops is not None:
+        # The paper: $0.35 vs $2.50 (85.99% lower).  The shape claim:
+        # λFS costs a small fraction of the serverful cluster.
+        assert lam.final_cost_usd < 0.5 * hops.final_cost_usd
+    # The simplified (provisioned-lifetime) model charges λFS several
+    # times more than pay-per-use ("doubled the cost" in the paper).
+    assert lam.simplified_cost_usd > 1.5 * lam.final_cost_usd

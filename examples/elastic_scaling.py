@@ -1,0 +1,77 @@
+"""Watch λFS scale out and back in as load waxes and wanes (§3.4).
+
+A fleet of readers ramps up, holds, and drains; we sample the number
+of live serverless NameNodes once a second and print the load/fleet
+curves together — elasticity in action, including scale-in via the
+platform's idle reclamation.
+
+Run with:  python examples/elastic_scaling.py
+"""
+
+import random
+
+from repro.bench.harness import build_lambdafs, drive
+from repro.namespace.treegen import TreeSpec, generate_tree
+from repro.sim import AllOf, Environment
+
+PHASES = [
+    # (duration_ms, concurrent clients)
+    (5_000, 16),
+    (5_000, 192),   # the burst
+    (5_000, 32),
+    (20_000, 4),    # quiet: idle reclamation shrinks the fleet
+]
+
+
+def main() -> None:
+    tree = generate_tree(TreeSpec(depth=3, dirs_per_dir=4, files_per_dir=8))
+    env = Environment()
+    handle = build_lambdafs(
+        env, tree,
+        faas_overrides={"idle_reclaim_ms": 6_000.0},
+        client_overrides={"replacement_probability": 0.02},
+    )
+    fs = handle.system
+    clients = handle.make_clients(max(count for _, count in PHASES))
+    drive(env, handle.prewarm())
+
+    samples = []
+    in_phase = [0]
+
+    def sampler(env):
+        while True:
+            samples.append((env.now, in_phase[0], fs.active_namenodes()))
+            yield env.timeout(1_000.0)
+
+    env.process(sampler(env))
+
+    def reader(env, client, stop_at):
+        rng = random.Random(client.id)
+        while env.now < stop_at:
+            yield from client.read_file(rng.choice(tree.files))
+
+    def conductor(env):
+        for duration, count in PHASES:
+            in_phase[0] = count
+            stop_at = env.now + duration
+            procs = [
+                env.process(reader(env, clients[i], stop_at))
+                for i in range(count)
+            ]
+            yield AllOf(env, procs)
+        in_phase[0] = 0
+        yield env.timeout(10_000)  # let reclamation finish
+
+    drive(env, conductor(env))
+
+    print(f"{'t (s)':>6} {'clients':>8} {'NameNodes':>10}  fleet")
+    for t, load, namenodes in samples:
+        bar = "#" * namenodes
+        print(f"{int(t / 1000):>6} {load:>8} {namenodes:>10}  {bar}")
+    print(f"\ncold starts: {fs.platform.cold_starts}, "
+          f"reclaimed instances: "
+          f"{sum(1 for e in fs.platform.scale_events if e.kind == 'terminate')}")
+
+
+if __name__ == "__main__":
+    main()

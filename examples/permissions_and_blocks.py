@@ -1,0 +1,54 @@
+"""HDFS-style permissions and block placement through λFS.
+
+Shows the metadata a DFS client actually consumes: permission
+enforcement on the resolution path (with coherent enforcement across
+NameNode caches after a `set_permission`) and per-block replica
+locations computed from the DataNodes' published reports.
+
+Run with:  python examples/permissions_and_blocks.py
+"""
+
+from repro.core import LambdaFS
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    fs = LambdaFS(env)
+    fs.format()
+    fs.start()
+    alice = fs.new_client()
+    bob = fs.new_client(fs.new_vm())
+
+    def scenario(env):
+        yield from alice.mkdirs("/projects/secret")
+        yield from alice.create_file("/projects/secret/plan.txt")
+        yield env.timeout(4_000)  # let DataNode block reports publish
+
+        response = yield from bob.read_file("/projects/secret/plan.txt")
+        print(f"bob reads plan.txt        -> ok={response.ok}")
+        for block_id, replicas in response.value["blocks"].items():
+            print(f"   block {block_id} replicated on {replicas}")
+
+        # Alice locks the directory down; Bob's cached view must be
+        # invalidated fleet-wide before the change persists.
+        response = yield from alice.set_permission("/projects/secret", 0o600)
+        print(f"alice chmod 600 secret/   -> ok={response.ok}")
+
+        response = yield from bob.read_file("/projects/secret/plan.txt")
+        print(f"bob reads plan.txt again  -> ok={response.ok}"
+              f"  ({response.error})")
+
+        response = yield from alice.set_permission("/projects/secret", 0o755)
+        print(f"alice chmod 755 secret/   -> ok={response.ok}")
+        response = yield from bob.read_file("/projects/secret/plan.txt")
+        print(f"bob reads plan.txt again  -> ok={response.ok}")
+
+    done = env.process(scenario(env))
+    env.run(until=done)
+    print("\nPermission changes propagate through the coherence protocol: "
+          "no NameNode ever serves a stale mode from its cache.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: a λFS metadata service in ~40 lines.
+
+Builds the full stack (FaaS platform, NDB-like store, Coordinator,
+serverless NameNode deployments), then runs a client through the
+basic metadata operations and prints what happened.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import LambdaFS
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    fs = LambdaFS(env)
+    fs.format()   # install "/" in the persistent store
+    fs.start()    # platform maintenance + DataNode block reports
+
+    client = fs.new_client()
+
+    def workload(env):
+        response = yield from client.mkdirs("/demo/docs")
+        print(f"mkdirs  -> ok={response.ok}")
+
+        response = yield from client.create_file("/demo/docs/paper.pdf")
+        print(f"create  -> inode id {response.value.id}")
+
+        response = yield from client.stat("/demo/docs/paper.pdf")
+        print(f"stat    -> {response.value.name}, cache hit: {response.cache_hit}")
+
+        response = yield from client.ls("/demo/docs")
+        print(f"ls      -> {response.value}")
+
+        response = yield from client.read_file("/demo/docs/paper.pdf")
+        print(f"read    -> block locations {response.value['locations']}")
+
+        response = yield from client.mv("/demo/docs/paper.pdf", "/demo/docs/final.pdf")
+        print(f"mv      -> now named {response.value.name}")
+
+        response = yield from client.delete("/demo/docs/final.pdf")
+        print(f"delete  -> ok={response.ok}")
+
+    done = env.process(workload(env))
+    env.run(until=done)
+
+    print(f"\nsimulated time elapsed : {env.now:,.1f} ms")
+    print(f"active NameNodes       : {fs.active_namenodes()}")
+    print(f"average op latency     : {fs.metrics.average_latency():.2f} ms")
+    print(f"pay-per-use cost so far: ${fs.cost_usd():.6f}")
+
+
+if __name__ == "__main__":
+    main()

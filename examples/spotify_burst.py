@@ -1,0 +1,76 @@
+"""The paper's headline scenario, miniature edition.
+
+Drives the bursty Spotify workload (Table 2 op mix, Pareto load) at a
+small scale against both λFS and vanilla HopsFS, and prints the
+per-second throughput curves, latency, and monetary cost side by
+side — a pocket Figure 8(a)/Figure 9.
+
+Run with:  python examples/spotify_burst.py    (~1 minute)
+"""
+
+from repro.bench.harness import build_hopsfs, build_lambdafs, drive
+from repro.metrics.ascii_plot import sparkline
+from repro.namespace.treegen import TreeSpec, generate_tree
+from repro.sim import Environment
+from repro.workloads import SpotifyConfig, SpotifyWorkload
+
+BASE_THROUGHPUT = 6_000.0   # bursts exceed HopsFS' store-bound ceiling
+DURATION_MS = 30_000.0
+CLIENTS = 128
+SEED = 8                    # schedule: calm, 5x burst, calm
+
+
+def run(system: str):
+    tree = generate_tree(TreeSpec(depth=3, dirs_per_dir=4, files_per_dir=8))
+    env = Environment()
+    builder = build_lambdafs if system == "λFS" else build_hopsfs
+    handle = builder(env, tree, seed=SEED)
+    clients = handle.make_clients(CLIENTS)
+    if handle.prewarm is not None:
+        drive(env, handle.prewarm())
+    workload = SpotifyWorkload(
+        env,
+        SpotifyConfig(base_throughput=BASE_THROUGHPUT,
+                      duration_ms=DURATION_MS, seed=SEED),
+        tree,
+    )
+    drive(env, workload.run(clients))
+    return handle, workload
+
+
+def main() -> None:
+    results = {}
+    for system in ("λFS", "HopsFS"):
+        handle, workload = run(system)
+        metrics = handle.metrics
+        results[system] = {
+            "timeline": metrics.throughput_timeline(1_000.0),
+            "avg": metrics.average_throughput(),
+            "latency": metrics.average_latency(),
+            "cost": handle.cost_usd(DURATION_MS),
+            "servers": handle.active_servers(),
+        }
+        print(f"{system}: done ({workload.completed} ops)")
+
+    print(f"\n{'t (s)':>6} {'λFS ops/s':>10} {'HopsFS ops/s':>13}")
+    hops = dict(results["HopsFS"]["timeline"])
+    for t, ops in results["λFS"]["timeline"][::2]:
+        print(f"{int(t / 1000):>6} {ops:>10,.0f} {hops.get(t, 0):>13,.0f}")
+
+    print("\nthroughput over time:")
+    print(f"  λFS    {sparkline([ops for _, ops in results['λFS']['timeline']])}")
+    print(f"  HopsFS {sparkline([ops for _, ops in results['HopsFS']['timeline']])}")
+
+    print(f"\n{'':14}{'λFS':>12} {'HopsFS':>12}")
+    lam, hop = results["λFS"], results["HopsFS"]
+    print(f"{'avg ops/s':14}{lam['avg']:>12,.0f} {hop['avg']:>12,.0f}")
+    print(f"{'avg latency':14}{lam['latency']:>10.2f}ms {hop['latency']:>10.2f}ms")
+    print(f"{'cost':14}{'$' + format(lam['cost'], '.4f'):>12} "
+          f"{'$' + format(hop['cost'], '.4f'):>12}")
+    print(f"{'servers':14}{lam['servers']:>12} {hop['servers']:>12}")
+    print("\nλFS rides the burst by scaling out; HopsFS saturates its "
+          "store and falls behind — at a fraction of the cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Calibration harness: quick cross-system shape checks.
+
+Not part of the public API; used during development to confirm the
+relative performance shapes match the paper before running the full
+benchmark suite.
+"""
+
+import time
+
+from repro.baselines import (
+    CephFSCluster,
+    HopsFSCachedCluster,
+    HopsFSCluster,
+    HopsFSConfig,
+    make_infinicache,
+)
+from repro.core import LambdaFS, LambdaFSConfig, OpType
+from repro.namespace.treegen import TreeSpec, generate_tree
+from repro.sim import Environment
+from repro.workloads import MicroBenchmark
+
+TREE = generate_tree(TreeSpec(depth=3, dirs_per_dir=4, files_per_dir=8))
+
+
+def build_lambda(env, n):
+    fs = LambdaFS(env, LambdaFSConfig(num_deployments=16))
+    fs.format()
+    fs.start()
+    fs.install_namespace(TREE.directories, TREE.files)
+    vms = [fs.new_vm() for _ in range(max(1, n // 128))]
+    clients = [fs.new_client(vms[i % len(vms)]) for i in range(n)]
+    pre = env.process(fs.prewarm(1))
+    env.run(until=pre)
+    return clients, lambda: (
+        f"NNs={fs.active_namenodes()} lat={fs.metrics.average_latency():.2f}ms"
+    )
+
+
+def build_infini(env, n):
+    fs = make_infinicache(env)
+    fs.format()
+    fs.start()
+    fs.install_namespace(TREE.directories, TREE.files)
+    vms = [fs.new_vm() for _ in range(max(1, n // 128))]
+    clients = [fs.new_client(vms[i % len(vms)]) for i in range(n)]
+    pre = env.process(fs.prewarm(1))
+    env.run(until=pre)
+    return clients, lambda: f"lat={fs.metrics.average_latency():.2f}ms"
+
+
+def build_hops(env, n):
+    cluster = HopsFSCluster(env, HopsFSConfig())
+    cluster.format()
+    cluster.install_namespace(TREE.directories, TREE.files)
+    clients = [cluster.new_client() for _ in range(n)]
+    return clients, lambda: f"lat={cluster.metrics.average_latency():.2f}ms"
+
+
+def build_hopsc(env, n):
+    cluster = HopsFSCachedCluster(env, HopsFSConfig())
+    cluster.format()
+    cluster.install_namespace(TREE.directories, TREE.files)
+    clients = [cluster.new_client() for _ in range(n)]
+    return clients, lambda: f"lat={cluster.metrics.average_latency():.2f}ms"
+
+
+def build_ceph(env, n):
+    cluster = CephFSCluster(env)
+    cluster.install_namespace(TREE.directories, TREE.files)
+    clients = [cluster.new_client() for _ in range(n)]
+    return clients, lambda: f"lat={cluster.metrics.average_latency():.2f}ms"
+
+
+BUILDERS = {
+    "lambda": build_lambda,
+    "hopsfs": build_hops,
+    "hops+c": build_hopsc,
+    "infini": build_infini,
+    "ceph": build_ceph,
+}
+
+
+def run(name, n_clients, ops, op=OpType.READ_FILE):
+    wall = time.time()
+    env = Environment()
+    clients, extra = BUILDERS[name](env, n_clients)
+    box = {}
+
+    def main(env):
+        bench = MicroBenchmark(env, TREE)
+        box["res"] = yield from bench.run(clients, op, ops)
+
+    done = env.process(main(env))
+    env.run(until=done)
+    res = box["res"]
+    print(
+        f"{name:7s} {n_clients:4d}cl {op.name:10s} {res.throughput:9.0f} ops/s "
+        f"err={res.errors:3d} {extra()} wall={time.time() - wall:.1f}s"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 192
+    op_name = sys.argv[2] if len(sys.argv) > 2 else "READ_FILE"
+    systems = sys.argv[3].split(",") if len(sys.argv) > 3 else list(BUILDERS)
+    for n in (8, 64, 256):
+        for system in systems:
+            run(system, n, ops, OpType[op_name])

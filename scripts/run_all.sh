@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate everything: test results, every paper table/figure, and
+# the output files referenced by EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python -m pytest tests/ 2>&1 | tee test_output.txt
+python -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+echo
+echo "Per-figure tables: benchmarks/results/"
+ls benchmarks/results/

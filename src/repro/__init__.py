@@ -1,0 +1,52 @@
+"""Reproduction of *λFS: A Scalable and Elastic Distributed File
+System Metadata Service using Serverless Functions* (ASPLOS 2023).
+
+The package is a deterministic discrete-event simulation of the full
+λFS stack and the systems it is evaluated against:
+
+* :mod:`repro.sim` — the simulation kernel;
+* :mod:`repro.namespace`, :mod:`repro.metastore`,
+  :mod:`repro.coordination`, :mod:`repro.rpc`, :mod:`repro.faas` —
+  the substrates (trie cache, NDB-like store, Coordinator, RPC
+  fabric, OpenWhisk-like FaaS platform);
+* :mod:`repro.core` — λFS itself (client library, serverless
+  NameNodes, coherence protocol, subtree offloading, auto-scaling);
+* :mod:`repro.baselines` — HopsFS, HopsFS+Cache, InfiniCache-style,
+  CephFS-style, IndexFS, λIndexFS;
+* :mod:`repro.workloads` and :mod:`repro.bench` — the paper's
+  workloads and one experiment driver per table/figure.
+
+Quickstart::
+
+    from repro.sim import Environment
+    from repro.core import LambdaFS
+
+    env = Environment()
+    fs = LambdaFS(env)
+    fs.format()
+    fs.start()
+    client = fs.new_client()
+
+    def main(env):
+        yield from client.mkdirs("/demo")
+        yield from client.create_file("/demo/hello")
+        response = yield from client.stat("/demo/hello")
+        print(response.value)
+
+    done = env.process(main(env))
+    env.run(until=done)
+"""
+
+from repro.core import LambdaFS, LambdaFSClient, LambdaFSConfig, OpType
+from repro.sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Environment",
+    "LambdaFS",
+    "LambdaFSClient",
+    "LambdaFSConfig",
+    "OpType",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def stable_hash(value: Any) -> int:
+    """A deterministic 64-bit hash, stable across processes and runs.
+
+    Python's builtin ``hash`` is salted per-process for strings, which
+    would make shard/deployment placement non-reproducible; everything
+    in this repository that partitions by hash goes through here.
+    """
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")

@@ -1,0 +1,52 @@
+"""Baseline systems the paper evaluates λFS against (§5.1).
+
+* :class:`HopsFSCluster` — vanilla HopsFS: a fixed cluster of
+  *stateless* NameNodes in front of MySQL NDB; every metadata
+  operation round-trips to the store.
+* :class:`HopsFSCachedCluster` — "HopsFS+Cache": the same serverful
+  cluster with λFS-style NameNode metadata caches and client-side
+  consistent hashing (the serverful cache-based baseline).
+* :func:`make_infinicache` — an InfiniCache-style FaaS cache: a
+  static, fixed-size deployment invoked over HTTP for every
+  operation (no auto-scaling, no long-lived TCP).
+* :class:`CephFSCluster` — a CephFS-flavoured MDS: in-memory
+  metadata with journaled writes and capability-based (cheap) write
+  handling, but a statically fixed MDS cluster.
+* :class:`IndexFSCluster` / :class:`LambdaIndexFS` — IndexFS on a
+  BeeGFS-like substrate with LevelDB SSTables, and the λFS port of
+  it (§5.7).
+"""
+
+from repro.baselines.cephfs import CephFSClient, CephFSCluster, CephFSConfig
+from repro.baselines.hopsfs import (
+    HopsFSCachedCluster,
+    HopsFSClient,
+    HopsFSCluster,
+    HopsFSConfig,
+)
+from repro.baselines.indexfs import (
+    IndexFSClient,
+    IndexFSCluster,
+    IndexFSConfig,
+    LambdaIndexFS,
+    LambdaIndexFSClient,
+    LambdaIndexFSConfig,
+)
+from repro.baselines.infinicache import make_infinicache
+
+__all__ = [
+    "CephFSClient",
+    "CephFSCluster",
+    "CephFSConfig",
+    "HopsFSCachedCluster",
+    "HopsFSClient",
+    "HopsFSCluster",
+    "HopsFSConfig",
+    "IndexFSClient",
+    "IndexFSCluster",
+    "IndexFSConfig",
+    "LambdaIndexFS",
+    "LambdaIndexFSClient",
+    "LambdaIndexFSConfig",
+    "make_infinicache",
+]

@@ -1,0 +1,305 @@
+"""A CephFS-flavoured MDS baseline (§5.1, §5.3).
+
+CephFS keeps metadata in MDS memory (backed by RADOS) and hands out
+*capabilities* that make write handling cheaper than the lock-heavy
+permission system of HopsFS/λFS (§5.3.1).  Its MDS daemons are,
+however, effectively single-threaded dispatchers in a statically
+fixed cluster, so aggregate throughput plateaus once the dispatch
+pipelines saturate — which is exactly the paper's observed shape:
+CephFS wins reads at small client counts (lowest per-op latency) and
+stops scaling beyond ~2^7 clients.
+
+The namespace here is an in-memory tree ("MDS RAM"); journaled
+writes contend on a shared journal resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, Generator, List, Optional, Set
+
+from repro._util import stable_hash
+from repro.core.errors import (
+    AlreadyExistsError,
+    FsError,
+    NotADirectoryError,
+    NotDirEmptyError,
+    NotFoundError,
+)
+from repro.core.messages import MetadataRequest, MetadataResponse, OpType
+from repro.metrics import MetricsRecorder, vm_cost
+from repro.namespace.inode import INode, ROOT_INODE_ID
+from repro.namespace.paths import is_descendant, normalize, parent_of, split
+from repro.sim import Environment, Resource, RngStreams
+
+
+@dataclass(frozen=True)
+class CephFSConfig:
+    num_mds: int = 8
+    vcpus_per_mds: int = 16
+    dispatch_threads: int = 1
+    """Ceph's MDS is effectively a single-threaded dispatcher."""
+    dispatch_ms: float = 0.04
+    cpu_ms_read: float = 0.10
+    cpu_ms_write: float = 0.18
+    journal_workers: int = 8
+    journal_service_ms: float = 0.20
+    tcp_oneway_ms: float = 0.22
+    seed: int = 0
+
+
+class _CephMDS:
+    """One MDS daemon."""
+
+    _ids = count(1)
+
+    def __init__(self, env: Environment, config: CephFSConfig) -> None:
+        self.env = env
+        self.id = f"ceph-mds{next(self._ids)}"
+        self.dispatch = Resource(env, capacity=config.dispatch_threads)
+        self.cpu = Resource(env, capacity=max(1, config.vcpus_per_mds))
+        self.config = config
+        self.requests_served = 0
+
+    def admit(self, cpu_ms: float) -> Generator:
+        with self.dispatch.request() as slot:
+            yield slot
+            yield self.env.timeout(self.config.dispatch_ms)
+        with self.cpu.request() as core:
+            yield core
+            yield self.env.timeout(cpu_ms)
+        self.requests_served += 1
+
+
+class CephFSCluster:
+    """A fixed cluster of CephFS MDS daemons."""
+
+    def __init__(self, env: Environment, config: Optional[CephFSConfig] = None) -> None:
+        self.env = env
+        self.config = config or CephFSConfig()
+        self.rngs = RngStreams(self.config.seed)
+        self.mds: List[_CephMDS] = [
+            _CephMDS(env, self.config) for _ in range(self.config.num_mds)
+        ]
+        self.journal = Resource(env, capacity=self.config.journal_workers)
+        self.metrics = MetricsRecorder()
+        self._inodes: Dict[str, INode] = {}
+        self._children: Dict[str, Set[str]] = {}
+        self._next_id = ROOT_INODE_ID + 1
+        self.format()
+
+    # -- namespace state (MDS memory) -----------------------------------
+    def format(self) -> None:
+        self._inodes = {"/": INode.root()}
+        self._children = {"/": set()}
+
+    def install_namespace(self, directories: List[str], files: List[str]) -> None:
+        for directory in directories:
+            self._install(directory, is_dir=True)
+        for file_path in files:
+            self._install(file_path, is_dir=False)
+
+    def _install(self, path: str, is_dir: bool) -> None:
+        path = normalize(path)
+        if path in self._inodes:
+            return
+        parent_path = parent_of(path)
+        if parent_path not in self._inodes:
+            self._install(parent_path, is_dir=True)
+        _, name = split(path)
+        inode = INode(
+            id=self._alloc(), parent_id=self._inodes[parent_path].id,
+            name=name, is_dir=is_dir,
+        )
+        self._inodes[path] = inode
+        self._children[parent_path].add(name)
+        if is_dir:
+            self._children[path] = set()
+
+    def _alloc(self) -> int:
+        self._next_id += 1
+        return self._next_id - 1
+
+    # -- routing: dynamic subtree partitioning approximation ----------------
+    def mds_for(self, path: str) -> _CephMDS:
+        anchor = "/" if normalize(path) == "/" else parent_of(normalize(path))
+        return self.mds[stable_hash(anchor) % len(self.mds)]
+
+    def new_client(self) -> "CephFSClient":
+        return CephFSClient(self)
+
+    def total_vcpus(self) -> float:
+        return self.config.num_mds * self.config.vcpus_per_mds
+
+    def cost_usd(self, duration_ms: float) -> float:
+        return vm_cost(self.total_vcpus(), duration_ms)
+
+    # -- operations (executed after MDS admission) ----------------------------
+    def _journal_write(self) -> Generator:
+        with self.journal.request() as slot:
+            yield slot
+            yield self.env.timeout(self.config.journal_service_ms)
+
+    def apply(self, request: MetadataRequest) -> Generator:
+        op = request.op
+        path = normalize(request.path)
+        if op in (OpType.READ_FILE, OpType.STAT):
+            inode = self._inodes.get(path)
+            if inode is None:
+                raise NotFoundError(f"{path!r} does not exist")
+            return inode
+        if op is OpType.LS:
+            inode = self._inodes.get(path)
+            if inode is None:
+                raise NotFoundError(f"{path!r} does not exist")
+            if not inode.is_dir:
+                return [inode.name]
+            return sorted(self._children.get(path, ()))
+        if op is OpType.CREATE_FILE:
+            yield from self._journal_write()
+            return self._create(path, is_dir=False)
+        if op is OpType.MKDIRS:
+            yield from self._journal_write()
+            return self._mkdirs(path)
+        if op is OpType.DELETE:
+            yield from self._journal_write()
+            return self._delete(path, request.recursive)
+        if op is OpType.MV:
+            yield from self._journal_write()
+            return self._mv(path, normalize(request.dst_path))
+        raise FsError(f"unhandled op {op}")
+
+    def _create(self, path: str, is_dir: bool) -> INode:
+        if path in self._inodes:
+            raise AlreadyExistsError(f"{path!r} already exists")
+        parent_path = parent_of(path)
+        parent = self._inodes.get(parent_path)
+        if parent is None:
+            raise NotFoundError(f"{parent_path!r} does not exist")
+        if not parent.is_dir:
+            raise NotADirectoryError(f"{parent_path!r} is not a directory")
+        _, name = split(path)
+        inode = INode(id=self._alloc(), parent_id=parent.id, name=name, is_dir=is_dir)
+        self._inodes[path] = inode
+        self._children[parent_path].add(name)
+        if is_dir:
+            self._children[path] = set()
+        return inode
+
+    def _mkdirs(self, path: str) -> INode:
+        existing = self._inodes.get(path)
+        if existing is not None:
+            if not existing.is_dir:
+                raise NotADirectoryError(f"{path!r} exists and is a file")
+            return existing
+        parent_path = parent_of(path)
+        if parent_path not in self._inodes:
+            self._mkdirs(parent_path)
+        return self._create(path, is_dir=True)
+
+    def _delete(self, path: str, recursive: bool) -> bool:
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise NotFoundError(f"{path!r} does not exist")
+        if inode.is_dir and self._children.get(path) and not recursive:
+            raise NotDirEmptyError(f"{path!r} is not empty")
+        victims = [p for p in self._inodes if is_descendant(p, path)]
+        for victim in victims:
+            self._inodes.pop(victim, None)
+            self._children.pop(victim, None)
+        parent_path, name = split(path)
+        self._children.get(parent_path, set()).discard(name)
+        return True
+
+    def _mv(self, src: str, dst: str) -> INode:
+        inode = self._inodes.get(src)
+        if inode is None:
+            raise NotFoundError(f"{src!r} does not exist")
+        if dst in self._inodes:
+            raise AlreadyExistsError(f"{dst!r} already exists")
+        dst_parent = parent_of(dst)
+        parent = self._inodes.get(dst_parent)
+        if parent is None or not parent.is_dir:
+            raise NotADirectoryError(f"{dst_parent!r} is not a directory")
+        moved_paths = [p for p in self._inodes if is_descendant(p, src)]
+        _, dst_name = split(dst)
+        renamed = {}
+        for old in moved_paths:
+            new = dst + old[len(src):]
+            renamed[new] = self._inodes.pop(old)
+            if old in self._children:
+                self._children[new] = self._children.pop(old)
+        moved = renamed[dst].with_updates(parent_id=parent.id, name=dst_name)
+        renamed[dst] = moved
+        self._inodes.update(renamed)
+        src_parent, src_name = split(src)
+        self._children.get(src_parent, set()).discard(src_name)
+        self._children[dst_parent].add(dst_name)
+        return moved
+
+
+class CephFSClient:
+    """A CephFS client issuing ops to the MDS cluster."""
+
+    _ids = count(1)
+
+    def __init__(self, cluster: CephFSCluster) -> None:
+        self.cluster = cluster
+        self.id = f"ceph-client{next(self._ids)}"
+
+    def execute(
+        self,
+        op: OpType,
+        path: str,
+        dst_path: Optional[str] = None,
+        recursive: bool = False,
+    ) -> Generator:
+        env = self.cluster.env
+        config = self.cluster.config
+        start = env.now
+        request = MetadataRequest(
+            op=op, path=path, dst_path=dst_path, recursive=recursive,
+            client_id=self.id,
+        )
+        mds = self.cluster.mds_for(path)
+        yield env.timeout(config.tcp_oneway_ms)
+        cpu = config.cpu_ms_write if op.is_write else config.cpu_ms_read
+        yield from mds.admit(cpu)
+        try:
+            value = yield from self.cluster.apply(request)
+            response = MetadataResponse(
+                request_id=request.request_id, ok=True, value=value,
+                served_by=mds.id,
+            )
+        except FsError as exc:
+            response = MetadataResponse(
+                request_id=request.request_id, ok=False,
+                error=f"{type(exc).__name__}: {exc}", served_by=mds.id,
+            )
+        yield env.timeout(config.tcp_oneway_ms)
+        self.cluster.metrics.record(
+            op=op.value, start_ms=start, end_ms=env.now, ok=response.ok,
+        )
+        return response
+
+    def create_file(self, path):
+        return (yield from self.execute(OpType.CREATE_FILE, path))
+
+    def mkdirs(self, path):
+        return (yield from self.execute(OpType.MKDIRS, path))
+
+    def read_file(self, path):
+        return (yield from self.execute(OpType.READ_FILE, path))
+
+    def stat(self, path):
+        return (yield from self.execute(OpType.STAT, path))
+
+    def ls(self, path):
+        return (yield from self.execute(OpType.LS, path))
+
+    def delete(self, path, recursive=False):
+        return (yield from self.execute(OpType.DELETE, path, recursive=recursive))
+
+    def mv(self, src, dst):
+        return (yield from self.execute(OpType.MV, src, dst_path=dst))

@@ -1,0 +1,55 @@
+"""An InfiniCache-style FaaS cache baseline (§5.1).
+
+InfiniCache [61] keeps a *static, fixed-size* deployment of cloud
+functions and serves I/O via short-lived connections that require a
+function **invocation for every operation** — i.e., an approximation
+of λFS with no auto-scaling and no long-lived TCP RPC.  The paper
+uses it to isolate the contribution of λFS' hybrid RPC + agile
+scaling: InfiniCache fails both Spotify workloads because the
+high-latency HTTP path and the fixed fleet cannot absorb the load.
+
+We express it as a configuration of the λFS machinery:
+
+* HTTP-TCP replacement probability 1.0 → every RPC is an HTTP
+  invocation;
+* at most one instance per deployment and eviction disabled → a
+  static fleet;
+* straggler mitigation and anti-thrashing off (not InfiniCache
+  features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.fs import LambdaFS, LambdaFSConfig
+from repro.sim import Environment
+
+
+def make_infinicache(
+    env: Environment,
+    base_config: Optional[LambdaFSConfig] = None,
+    deployments: int = 16,
+) -> LambdaFS:
+    """Build an InfiniCache-configured metadata service."""
+    base = base_config or LambdaFSConfig()
+    faas = replace(
+        base.faas,
+        max_instances_per_deployment=1,
+        allow_eviction=False,
+        idle_reclaim_ms=float("inf"),
+    )
+    client = replace(
+        base.client,
+        replacement_probability=1.0,
+        straggler_enabled=False,
+        antithrash_enabled=False,
+    )
+    config = replace(
+        base,
+        num_deployments=deployments,
+        faas=faas,
+        client=client,
+    )
+    return LambdaFS(env, config)

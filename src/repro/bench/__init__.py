@@ -1,0 +1,36 @@
+"""Experiment drivers: one entry point per paper table/figure.
+
+:mod:`repro.bench.harness` builds comparably configured systems and
+runs workloads; :mod:`repro.bench.experiments` exposes
+``fig8_spotify``, ``fig11_client_scaling`` … ``table3_subtree_mv``
+returning structured results that the ``benchmarks/`` suite prints
+as the paper's rows and series.
+
+Experiments run at a documented scale-down (see EXPERIMENTS.md):
+client counts and load targets are divided by a constant factor so a
+full suite completes in minutes of wall time, while the *systems*
+(NDB capacity, FaaS platform, latencies) keep paper-calibrated
+constants — so ratios and crossovers are preserved.
+"""
+
+from repro.bench.harness import (
+    SystemHandle,
+    build_cephfs,
+    build_hopsfs,
+    build_hopsfs_cache,
+    build_infinicache,
+    build_lambdafs,
+    drive,
+    run_micro,
+)
+
+__all__ = [
+    "SystemHandle",
+    "build_cephfs",
+    "build_hopsfs",
+    "build_hopsfs_cache",
+    "build_infinicache",
+    "build_lambdafs",
+    "drive",
+    "run_micro",
+]

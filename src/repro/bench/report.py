@@ -1,0 +1,30 @@
+"""Text-table rendering shared by the CLI and the benchmark suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def tabulate(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

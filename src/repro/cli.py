@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — the quickstart scenario (basic metadata ops);
+* ``spotify`` — a miniature Figure 8(a): λFS vs HopsFS under the
+  bursty industrial workload, with throughput plots;
+* ``scaling`` — one client-scaling comparison point per system;
+* ``table3`` — the subtree-mv latency table;
+* ``replay`` — replay an audit-log trace file;
+* ``experiments`` — list the experiment drivers and what they map to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.report import tabulate
+
+
+def _cmd_demo(_args) -> int:
+    from repro.core import LambdaFS
+    from repro.sim import Environment
+
+    env = Environment()
+    fs = LambdaFS(env)
+    fs.format()
+    fs.start()
+    client = fs.new_client()
+
+    def scenario(env):
+        for op, path in (
+            ("mkdirs", "/cli/demo"),
+            ("create_file", "/cli/demo/file.txt"),
+            ("stat", "/cli/demo/file.txt"),
+            ("ls", "/cli/demo"),
+            ("delete", "/cli/demo/file.txt"),
+        ):
+            response = yield from getattr(client, op)(path)
+            print(f"{op:12s} {path:22s} ok={response.ok}")
+
+    done = env.process(scenario(env))
+    env.run(until=done)
+    print(f"\nactive NameNodes: {fs.active_namenodes()}  "
+          f"avg latency: {fs.metrics.average_latency():.2f} ms  "
+          f"cost: ${fs.cost_usd():.6f}")
+    return 0
+
+
+def _cmd_spotify(args) -> int:
+    from repro.bench.experiments import fig8_spotify
+    from repro.metrics.ascii_plot import line_plot
+
+    runs = fig8_spotify(
+        base_throughput=args.base,
+        duration_ms=args.duration * 1000.0,
+        clients=args.clients,
+        systems=("lambda", "hopsfs"),
+    )
+    rows = [
+        [run.name, run.avg_throughput, run.peak_throughput,
+         run.avg_latency_ms, f"${run.final_cost_usd:.4f}"]
+        for run in runs.values()
+    ]
+    print(tabulate(
+        ["system", "avg ops/s", "peak ops/s", "avg lat (ms)", "cost"], rows
+    ))
+    print()
+    print(line_plot({
+        "λFS": runs["lambda"].throughput_timeline,
+        "HopsFS": runs["hopsfs"].throughput_timeline,
+    }))
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.bench.experiments import fig11_client_scaling
+    from repro.core import OpType
+
+    points = fig11_client_scaling(
+        client_counts=(args.clients,),
+        ops=(OpType.READ_FILE,),
+        ops_per_client=args.ops,
+        warmup_per_client=max(8, args.ops // 4),
+    )
+    print(tabulate(
+        ["system", "clients", "ops/s", "servers", "cost"],
+        [
+            [p.system, p.clients, p.throughput, p.active_servers,
+             f"${p.cost_usd:.4f}"]
+            for p in points
+        ],
+    ))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.bench.experiments import table3_subtree_mv
+
+    rows = table3_subtree_mv(directory_sizes=tuple(args.sizes))
+    print(tabulate(
+        ["files", "HopsFS (ms)", "λFS (ms)", "λFS advantage"],
+        [
+            [r["files"], r["hopsfs"], r["lambda"],
+             f"{(r['hopsfs'] - r['lambda']) / r['hopsfs'] * 100:.1f}%"]
+            for r in rows
+        ],
+    ))
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.core import LambdaFS
+    from repro.sim import Environment
+    from repro.workloads import TraceReplayer, load_trace
+
+    with open(args.trace) as handle:
+        records = load_trace(handle)
+    env = Environment()
+    fs = LambdaFS(env)
+    fs.format()
+    fs.start()
+    clients = [fs.new_client() for _ in range(args.clients)]
+    warm = env.process((lambda g: (yield from g))(fs.prewarm(1)))
+    env.run(until=warm)
+    box = {}
+
+    def main(env):
+        box["r"] = yield from TraceReplayer(env, records).run(clients)
+
+    done = env.process(main(env))
+    env.run(until=done)
+    result = box["r"]
+    print(f"replayed {result.issued} ops "
+          f"({result.succeeded} ok, {result.failed} failed) "
+          f"in {result.duration_ms / 1000:.2f} s simulated "
+          f"-> {result.throughput:,.0f} ops/s")
+    print(f"avg latency {fs.metrics.average_latency():.2f} ms, "
+          f"cost ${fs.cost_usd():.6f}, "
+          f"NameNodes {fs.active_namenodes()}")
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    table = [
+        ("fig8a/fig8b", "Spotify workload throughput", "benchmarks/test_fig8a…,8b…"),
+        ("fig8c", "performance-per-cost timeline", "benchmarks/test_fig8c…"),
+        ("fig9", "cumulative cost", "benchmarks/test_fig9…"),
+        ("fig10", "latency CDFs", "benchmarks/test_fig10…"),
+        ("fig11", "client-driven scaling", "benchmarks/test_fig11…"),
+        ("fig12", "resource scaling", "benchmarks/test_fig12…"),
+        ("fig13", "read perf-per-cost", "benchmarks/test_fig13…"),
+        ("fig14", "auto-scaling ablation", "benchmarks/test_fig14…"),
+        ("table3", "subtree mv latency", "benchmarks/test_table3…"),
+        ("fig15", "fault tolerance", "benchmarks/test_fig15…"),
+        ("fig16", "λIndexFS vs IndexFS", "benchmarks/test_fig16…"),
+        ("app B/C/D", "straggler / anti-thrash / offload", "benchmarks/test_app*…"),
+    ]
+    print(tabulate(["experiment", "reproduces", "bench target"], table))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="λFS (ASPLOS '23) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the quickstart scenario")
+
+    spotify = sub.add_parser("spotify", help="mini Figure 8(a) run")
+    spotify.add_argument("--base", type=float, default=3_000.0,
+                         help="base throughput (ops/s)")
+    spotify.add_argument("--duration", type=float, default=20.0,
+                         help="workload duration (seconds)")
+    spotify.add_argument("--clients", type=int, default=128)
+
+    scaling = sub.add_parser("scaling", help="one client-scaling point")
+    scaling.add_argument("--clients", type=int, default=64)
+    scaling.add_argument("--ops", type=int, default=96)
+
+    table3 = sub.add_parser("table3", help="subtree mv latency table")
+    table3.add_argument("--sizes", type=int, nargs="+",
+                        default=[1_024, 4_096])
+
+    replay = sub.add_parser("replay", help="replay an audit-log trace")
+    replay.add_argument("trace", help="trace file: '<ms> <op> <path> [dst]'")
+    replay.add_argument("--clients", type=int, default=8)
+
+    sub.add_parser("experiments", help="list experiment drivers")
+    return parser
+
+
+COMMANDS = {
+    "demo": _cmd_demo,
+    "spotify": _cmd_spotify,
+    "scaling": _cmd_scaling,
+    "table3": _cmd_table3,
+    "replay": _cmd_replay,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

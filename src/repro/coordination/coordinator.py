@@ -1,0 +1,202 @@
+"""Membership tracking and INV/ACK delivery.
+
+The Coordinator implements exactly what Algorithm 1 needs:
+
+1. a registry of live NameNode instances per deployment (with
+   liveness notifications on termination);
+2. reliable delivery of invalidations (INVs) to every live member of
+   a deployment, and collection of their ACKs;
+3. the rule that *"ACKs are not required from NameNodes that
+   terminate mid-protocol"* — a member that deregisters while an INV
+   is outstanding is dropped from the pending set so writers never
+   block on the dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Callable, Dict, Generator, Iterable, Optional, Set
+
+from repro.sim import Environment, Event
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Latency knobs for one Coordinator backend."""
+
+    publish_ms: float = 0.4
+    """One-way delivery latency of an INV to one member."""
+    ack_ms: float = 0.4
+    """One-way latency of an ACK back to the leader."""
+    watch_ms: float = 0.3
+    """Latency of a liveness notification."""
+
+
+@dataclass(frozen=True)
+class Invalidation:
+    """One invalidation message.
+
+    ``prefix`` selects subtree (prefix) semantics: members invalidate
+    every cached path under it.  Otherwise ``paths`` lists the exact
+    entries to drop.
+    """
+
+    inv_id: int
+    deployment: str
+    paths: tuple = ()
+    prefix: Optional[str] = None
+
+    @property
+    def is_subtree(self) -> bool:
+        return self.prefix is not None
+
+
+class _PendingInv:
+    __slots__ = ("waiting", "event")
+
+    def __init__(self, env: Environment, members: Set[str]) -> None:
+        self.waiting = set(members)
+        self.event = Event(env)
+        if not self.waiting:
+            self.event.succeed(0)
+
+
+class Coordinator:
+    """Base Coordinator; see subclasses for backend latencies."""
+
+    def __init__(self, env: Environment, config: Optional[CoordinatorConfig] = None) -> None:
+        self.env = env
+        self.config = config or CoordinatorConfig()
+        # deployment -> member_id -> INV handler callback
+        self._members: Dict[str, Dict[str, Callable[[Invalidation], None]]] = {}
+        self._pending: Dict[int, _PendingInv] = {}
+        self._inv_ids = count(1)
+        self._death_watchers: Dict[str, list] = {}
+        self.invs_sent = 0
+        self.acks_received = 0
+
+    # -- membership ------------------------------------------------------
+    def register(
+        self,
+        deployment: str,
+        member_id: str,
+        inv_handler: Callable[[Invalidation], None],
+    ) -> None:
+        """Announce a live NameNode instance."""
+        self._members.setdefault(deployment, {})[member_id] = inv_handler
+
+    def deregister(self, deployment: str, member_id: str) -> None:
+        """Remove an instance (normal scale-in or crash).
+
+        Outstanding INVs waiting on this member are released, per the
+        "no ACK required from terminated NameNodes" rule.
+        """
+        members = self._members.get(deployment, {})
+        members.pop(member_id, None)
+        for pending in list(self._pending.values()):
+            if member_id in pending.waiting:
+                pending.waiting.discard(member_id)
+                if not pending.waiting and not pending.event.triggered:
+                    pending.event.succeed(0)
+        for callback in self._death_watchers.pop(member_id, []):
+            self.env.process(self._notify_death(callback, member_id))
+
+    def live_members(self, deployment: str) -> Set[str]:
+        """Ids of instances currently alive in ``deployment``."""
+        return set(self._members.get(deployment, {}))
+
+    def live_count(self, deployment: str) -> int:
+        return len(self._members.get(deployment, {}))
+
+    def watch_death(self, member_id: str, callback: Callable[[str], None]) -> None:
+        """Invoke ``callback(member_id)`` when the member deregisters."""
+        self._death_watchers.setdefault(member_id, []).append(callback)
+
+    def _notify_death(self, callback: Callable[[str], None], member_id: str) -> Generator:
+        yield self.env.timeout(self.config.watch_ms)
+        callback(member_id)
+
+    # -- coherence messaging ------------------------------------------------
+    def invalidate(
+        self,
+        deployment: str,
+        paths: Iterable[str] = (),
+        prefix: Optional[str] = None,
+        exclude: Iterable[str] = (),
+    ) -> Generator:
+        """Send an INV to every live member and wait for all ACKs.
+
+        ``exclude`` names members (typically the leader itself) that
+        invalidate locally and need no message.  Returns the number of
+        members that were contacted.
+        """
+        inv = Invalidation(
+            inv_id=next(self._inv_ids),
+            deployment=deployment,
+            paths=tuple(paths),
+            prefix=prefix,
+        )
+        excluded = set(exclude)
+        targets = {
+            member_id: handler
+            for member_id, handler in self._members.get(deployment, {}).items()
+            if member_id not in excluded
+        }
+        pending = _PendingInv(self.env, set(targets))
+        self._pending[inv.inv_id] = pending
+        for member_id, handler in targets.items():
+            self.invs_sent += 1
+            self.env.process(self._deliver(inv, member_id, handler))
+        yield pending.event
+        self._pending.pop(inv.inv_id, None)
+        return len(targets)
+
+    def ack(self, inv_id: int, member_id: str) -> None:
+        """Record one member's ACK for ``inv_id``."""
+        self.acks_received += 1
+        pending = self._pending.get(inv_id)
+        if pending is None:
+            return
+        pending.waiting.discard(member_id)
+        if not pending.waiting and not pending.event.triggered:
+            pending.event.succeed(0)
+
+    def _deliver(
+        self,
+        inv: Invalidation,
+        member_id: str,
+        handler: Callable[[Invalidation], None],
+    ) -> Generator:
+        yield self.env.timeout(self.config.publish_ms)
+        # The member may have died in flight; deregistration already
+        # released the pending set in that case.
+        live = self._members.get(inv.deployment, {})
+        if member_id not in live:
+            return
+        handler(inv)
+        yield self.env.timeout(self.config.ack_ms)
+        self.ack(inv.inv_id, member_id)
+
+
+class ZooKeeperCoordinator(Coordinator):
+    """ZooKeeper-backed Coordinator (default in the paper)."""
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env, CoordinatorConfig(publish_ms=0.4, ack_ms=0.4, watch_ms=0.3))
+
+
+class NdbCoordinator(Coordinator):
+    """NDB-backed Coordinator: slightly slower, piggybacks on the DB."""
+
+    def __init__(self, env: Environment) -> None:
+        super().__init__(env, CoordinatorConfig(publish_ms=0.7, ack_ms=0.7, watch_ms=0.5))
+
+
+def make_coordinator(env: Environment, kind: str = "zookeeper") -> Coordinator:
+    """Factory for the pluggable Coordinator backends."""
+    if kind == "zookeeper":
+        return ZooKeeperCoordinator(env)
+    if kind == "ndb":
+        return NdbCoordinator(env)
+    raise ValueError(f"unknown coordinator kind {kind!r}")

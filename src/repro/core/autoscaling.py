@@ -1,0 +1,74 @@
+"""The agile auto-scaling model of Figure 6 (§3.4).
+
+Two knobs control the degree of scale-out:
+
+* **fine-grained** — the HTTP-TCP replacement probability: each TCP
+  RPC is replaced by an HTTP RPC with probability *p* (empirically
+  p ≤ 1 % performs best), so the FaaS platform keeps seeing a load
+  signal proportional to traffic;
+* **coarse-grained** — the per-instance ``ConcurrencyLevel``: how
+  many concurrent HTTP RPCs one instance absorbs before the platform
+  provisions another.
+
+The expected number of NameNodes and the platform's resource
+upper-bound follow the equations in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def desired_scale(num_deployments: int, replace_probability: float, alpha: float) -> float:
+    """Expected scale-out: ``NumDeployments + TcpHttpReplace% × α``.
+
+    ``alpha`` encodes the load level (requests/sec and concurrency).
+    Must be ≥ the deployment count, which also determines how the
+    namespace is partitioned.
+    """
+    if num_deployments < 1:
+        raise ValueError("NumDeployments must be >= 1")
+    if not 0.0 <= replace_probability <= 1.0:
+        raise ValueError("replacement probability must be in [0, 1]")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    return num_deployments + replace_probability * alpha
+
+
+def concurrency_bound(
+    cluster_cpu: float,
+    per_namenode_cpu: float,
+    cluster_ram_gb: float,
+    per_namenode_ram_gb: float,
+) -> float:
+    """Upper bound on NameNode count from platform resources:
+    ``MIN(ClusterCPU / PerNameNodeCPU, ClusterRAM / PerNameNodeRAM)``."""
+    if min(per_namenode_cpu, per_namenode_ram_gb) <= 0:
+        raise ValueError("per-NameNode resources must be positive")
+    return min(
+        cluster_cpu / per_namenode_cpu,
+        cluster_ram_gb / per_namenode_ram_gb,
+    )
+
+
+@dataclass(frozen=True)
+class AutoScalingModel:
+    """Bundled Figure 6 model, for planning experiments."""
+
+    num_deployments: int
+    replace_probability: float
+    cluster_cpu: float
+    per_namenode_cpu: float
+    cluster_ram_gb: float
+    per_namenode_ram_gb: float
+
+    def expected_namenodes(self, alpha: float) -> float:
+        """Expected scale, clipped at the resource upper bound."""
+        expected = desired_scale(self.num_deployments, self.replace_probability, alpha)
+        bound = concurrency_bound(
+            self.cluster_cpu,
+            self.per_namenode_cpu,
+            self.cluster_ram_gb,
+            self.per_namenode_ram_gb,
+        )
+        return min(expected, bound)

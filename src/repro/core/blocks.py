@@ -1,0 +1,79 @@
+"""Block management: allocation, placement, and report reconciliation.
+
+HDFS files are sequences of replicated blocks; the NameNode maps
+block ids to the DataNodes holding replicas.  In λFS this state is
+derived from the persistent store instead of in-NameNode soft state:
+placement is a deterministic rendezvous over the DataNodes that are
+currently publishing reports (§3.6, Fig. 2 "Block Operations"), so
+any NameNode instance — fresh or warm — computes the same locations
+without holding DataNode connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Sequence, Tuple
+
+from repro._util import stable_hash
+
+
+@dataclass(frozen=True)
+class BlockPlacementConfig:
+    replication: int = 3
+    blocks_per_file: int = 1
+    """New files get this many initial blocks (HDFS allocates on
+    write; metadata benchmarks create empty-ish files)."""
+
+
+class BlockManager:
+    """Allocates block ids and computes replica placement."""
+
+    def __init__(self, config: BlockPlacementConfig | None = None) -> None:
+        self.config = config or BlockPlacementConfig()
+        self._ids = count(1)
+
+    def allocate(self) -> Tuple[int, ...]:
+        """Block ids for one new file."""
+        return tuple(
+            next(self._ids) for _ in range(self.config.blocks_per_file)
+        )
+
+    def place(self, block_id: int, datanodes: Sequence[str]) -> List[str]:
+        """Replica DataNodes for ``block_id`` (rendezvous hashing).
+
+        Deterministic in (block id, live DataNode set): every
+        NameNode instance computes identical placements from the
+        published reports, with no coordination.
+        """
+        if not datanodes:
+            return []
+        ranked = sorted(
+            datanodes,
+            key=lambda dn: stable_hash((block_id, dn)),
+        )
+        return ranked[: min(self.config.replication, len(ranked))]
+
+    def locations(
+        self, block_ids: Sequence[int], datanodes: Sequence[str]
+    ) -> Dict[int, List[str]]:
+        """Placement map for a whole file."""
+        return {
+            block_id: self.place(block_id, datanodes)
+            for block_id in block_ids
+        }
+
+    def reconcile(
+        self,
+        block_ids: Sequence[int],
+        reported: Dict[str, int],
+        datanodes: Sequence[str],
+    ) -> Dict[int, List[str]]:
+        """Filter placements to DataNodes whose reports are live.
+
+        ``reported`` maps DataNode id to its latest report count; a
+        DataNode missing from it is treated as dead and dropped from
+        placements (the block-map consistency role of block reports).
+        """
+        live = [dn for dn in datanodes if dn in reported]
+        return self.locations(block_ids, live)

@@ -1,0 +1,234 @@
+"""The λFS client library (§3.2, §3.4, Appendices B & C).
+
+Clients route each metadata RPC to the deployment owning the target
+path, preferring direct TCP connections and falling back to HTTP
+invocations through the FaaS gateway.  Three client-side mechanisms
+from the paper live here:
+
+* **randomized HTTP-TCP replacement** — each TCP-eligible RPC is
+  issued over HTTP instead with probability *p* (default ≤ 1 %), the
+  fine-grained auto-scaling signal of §3.4;
+* **straggler mitigation** (Appendix B) — requests taking longer than
+  ``threshold ×`` a moving-window average latency are cancelled and
+  resubmitted to another NameNode;
+* **anti-thrashing mode** (Appendix C) — when latency spikes past a
+  multiple of the moving average, the client stops issuing HTTP
+  invocations (suppressing further scale-out) until things recover.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Deque, Generator, Optional
+
+from repro.core.messages import MetadataRequest, OpType
+from repro.faas.platform import InstanceTerminated
+from repro.rpc.connections import ConnectionDropped
+from repro.rpc.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fs import LambdaFS
+    from repro.rpc.connections import ClientVM, TcpServer
+
+
+class RequestTimeout(Exception):
+    """An RPC did not complete within its budget."""
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    replacement_probability: float = 0.01
+    """HTTP-TCP replacement probability (§3.4; best ≤ 1 %)."""
+    http_timeout_ms: float = 30_000.0
+    max_attempts: int = 16
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    straggler_enabled: bool = True
+    straggler_threshold: float = 10.0
+    """Resubmit when latency ≥ threshold × moving average (App. B)."""
+    straggler_floor_ms: float = 50.0
+    """Never flag requests faster than this as stragglers."""
+    latency_window: int = 64
+    antithrash_enabled: bool = True
+    antithrash_threshold: float = 2.5
+    """Enter anti-thrashing mode past this multiple of the moving
+    average (App. C: T between 2–3 performs best)."""
+    antithrash_cooldown_ms: float = 5_000.0
+
+
+class LambdaFSClient:
+    """One DFS client process endpoint."""
+
+    _ids = count(1)
+
+    def __init__(self, fs: "LambdaFS", vm: "ClientVM") -> None:
+        self.fs = fs
+        self.vm = vm
+        self.server: "TcpServer" = vm.assign_server()
+        self.config = fs.config.client
+        self.id = f"client{next(self._ids)}"
+        self._rng = fs.rngs.stream(f"client:{self.id}")
+        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+        self._antithrash_until = -float("inf")
+        self.stats_stragglers = 0
+        self.stats_http_rpcs = 0
+        self.stats_tcp_rpcs = 0
+        self.stats_retries = 0
+
+    # -- public API ------------------------------------------------------
+    def create_file(self, path: str) -> Generator:
+        return (yield from self.execute(OpType.CREATE_FILE, path))
+
+    def mkdirs(self, path: str) -> Generator:
+        return (yield from self.execute(OpType.MKDIRS, path))
+
+    def read_file(self, path: str) -> Generator:
+        return (yield from self.execute(OpType.READ_FILE, path))
+
+    def stat(self, path: str) -> Generator:
+        return (yield from self.execute(OpType.STAT, path))
+
+    def ls(self, path: str) -> Generator:
+        return (yield from self.execute(OpType.LS, path))
+
+    def delete(self, path: str, recursive: bool = False) -> Generator:
+        return (yield from self.execute(OpType.DELETE, path, recursive=recursive))
+
+    def mv(self, src: str, dst: str) -> Generator:
+        return (yield from self.execute(OpType.MV, src, dst_path=dst))
+
+    def set_permission(self, path: str, mode: int) -> Generator:
+        return (yield from self.execute(OpType.SET_PERMISSION, path, payload=mode))
+
+    def execute(
+        self,
+        op: OpType,
+        path: str,
+        dst_path: Optional[str] = None,
+        recursive: bool = False,
+        payload=None,
+    ) -> Generator:
+        """Issue one metadata operation; returns the response."""
+        env = self.fs.env
+        start = env.now
+        request = MetadataRequest(
+            op=op,
+            path=path,
+            dst_path=dst_path,
+            recursive=recursive,
+            client_id=self.id,
+            tcp_servers=tuple(self.vm.servers),
+            payload=payload,
+        )
+        deployment = self.fs.partitioner.deployment_for(path)
+        response, via, cache_hit = yield from self._submit(request, deployment)
+        latency = env.now - start
+        self._observe(latency)
+        self.fs.metrics.record(
+            op=op.value, start_ms=start, end_ms=env.now,
+            ok=response.ok, via=via, cache_hit=cache_hit,
+        )
+        return response
+
+    # -- submission ------------------------------------------------------
+    def _submit(
+        self, request: MetadataRequest, deployment: str
+    ) -> Generator:
+        env = self.fs.env
+        attempt = 0
+        while True:
+            attempt += 1
+            request.attempt = attempt
+            connection = yield from self.vm.find_shared(deployment, self.server)
+            use_tcp = connection is not None and (
+                self._antithrash_active()
+                or self._rng.random() >= self.config.replacement_probability
+            )
+            try:
+                if use_tcp:
+                    self.stats_tcp_rpcs += 1
+                    response = yield from self._tcp_call(connection, request)
+                    return response, "tcp", response.cache_hit
+                self.stats_http_rpcs += 1
+                response = yield from self._http_call(request, deployment)
+                return response, "http", response.cache_hit
+            except (ConnectionDropped, InstanceTerminated, RequestTimeout):
+                self.stats_retries += 1
+                if attempt >= self.config.max_attempts:
+                    raise
+                if not use_tcp:
+                    # HTTP resubmission storms are dangerous (§3.2):
+                    # back off exponentially with jitter.
+                    yield env.timeout(self.config.retry.delay(attempt, self._rng))
+                # A dropped TCP connection retries immediately: the
+                # next find_shared scans sibling servers, and the HTTP
+                # fallback kicks in if nothing is connected.
+
+    def _tcp_call(self, connection, request: MetadataRequest) -> Generator:
+        """Direct TCP RPC with straggler mitigation (Appendix B).
+
+        The watchdog is dropped for the last retry attempts: when the
+        whole system is saturated (not just one NameNode), resubmitting
+        forever would never finish, so the client eventually waits the
+        request out.
+        """
+        env = self.fs.env
+        call = env.process(connection.call(request))
+        watchdog = (
+            self.config.straggler_enabled
+            and request.attempt < self.config.max_attempts - 2
+        )
+        if not watchdog:
+            response = yield call
+            return response
+        threshold = max(
+            self.config.straggler_floor_ms,
+            self.config.straggler_threshold * self._moving_average(),
+        )
+        timer = env.timeout(threshold)
+        outcome = yield call | timer
+        if call in outcome:
+            return outcome[call]
+        # Straggler: abandon this request and resubmit elsewhere.
+        self.stats_stragglers += 1
+        call.defused()
+        raise RequestTimeout(f"straggler after {threshold:.1f} ms")
+
+    def _http_call(self, request: MetadataRequest, deployment: str) -> Generator:
+        """HTTP invocation through the FaaS API gateway."""
+        env = self.fs.env
+        latency = self.fs.latency
+        yield env.timeout(latency.http_oneway() + latency.gateway())
+        invoke = env.process(self.fs.platform.invoke(deployment, request))
+        timer = env.timeout(self.config.http_timeout_ms)
+        outcome = yield invoke | timer
+        if invoke not in outcome:
+            invoke.defused()
+            raise RequestTimeout(f"HTTP invoke of {deployment} timed out")
+        response, _instance = outcome[invoke]
+        yield env.timeout(latency.http_oneway())
+        return response
+
+    # -- adaptive state -------------------------------------------------------
+    def _moving_average(self) -> float:
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    def _observe(self, latency_ms: float) -> None:
+        average = self._moving_average()
+        self._latencies.append(latency_ms)
+        if (
+            self.config.antithrash_enabled
+            and average > 0
+            and latency_ms >= self.config.antithrash_threshold * average
+        ):
+            self._antithrash_until = (
+                self.fs.env.now + self.config.antithrash_cooldown_ms
+            )
+
+    def _antithrash_active(self) -> bool:
+        return self.config.antithrash_enabled and (
+            self.fs.env.now < self._antithrash_until
+        )

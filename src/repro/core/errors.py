@@ -1,0 +1,25 @@
+"""File-system errors surfaced to clients."""
+
+
+class FsError(Exception):
+    """Base class for namespace operation failures."""
+
+
+class NotFoundError(FsError):
+    """A path component does not exist."""
+
+
+class AlreadyExistsError(FsError):
+    """The target path already exists."""
+
+
+class NotADirectoryError(FsError):
+    """A non-directory appears where a directory is required."""
+
+
+class NotDirEmptyError(FsError):
+    """A non-recursive delete hit a non-empty directory."""
+
+
+class AccessDeniedError(FsError):
+    """Permission bits forbid the requested access."""

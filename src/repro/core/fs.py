@@ -1,0 +1,150 @@
+"""λFS system assembly: platform + store + coordinator + deployments.
+
+:class:`LambdaFS` is the top-level object experiments interact with::
+
+    env = Environment()
+    fs = LambdaFS(env)
+    fs.format()
+    fs.start()
+    vm = fs.new_vm()
+    client = fs.new_client(vm)
+
+    def workload(env):
+        yield from client.mkdirs("/data")
+        yield from client.create_file("/data/a")
+        response = yield from client.stat("/data/a")
+
+    env.process(workload(env))
+    env.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.coordination import make_coordinator
+from repro.core.client import ClientConfig, LambdaFSClient
+from repro.core.maintenance import DataNodeConfig, DataNodeService
+from repro.core.namenode import LambdaNameNode, NameNodeConfig
+from repro.core.operations import NamespaceOps
+from repro.core.partitioning import NamespacePartitioner
+from repro.core.subtree import SubtreeConfig, SubtreeProtocol
+from repro.faas import FaaSConfig, FaaSPlatform
+from repro.metastore import NdbConfig, NdbStore
+from repro.metrics import MetricsRecorder, lambda_cost, simplified_cost
+from repro.rpc import ClientVM, LatencyConfig, LatencyModel
+from repro.sim import AllOf, Environment, RngStreams
+
+
+@dataclass(frozen=True)
+class LambdaFSConfig:
+    """Everything configurable about a λFS deployment."""
+
+    num_deployments: int = 16
+    coordinator_kind: str = "zookeeper"
+    clients_per_tcp_server: int = 128
+    seed: int = 0
+    faas: FaaSConfig = field(default_factory=FaaSConfig)
+    ndb: NdbConfig = field(default_factory=NdbConfig)
+    namenode: NameNodeConfig = field(default_factory=NameNodeConfig)
+    client: ClientConfig = field(default_factory=ClientConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    subtree: SubtreeConfig = field(default_factory=SubtreeConfig)
+    datanodes: DataNodeConfig = field(default_factory=DataNodeConfig)
+
+
+class LambdaFS:
+    """A running λFS metadata service."""
+
+    def __init__(self, env: Environment, config: Optional[LambdaFSConfig] = None) -> None:
+        self.env = env
+        self.config = config or LambdaFSConfig()
+        self.rngs = RngStreams(self.config.seed)
+        self.latency = LatencyModel(self.rngs.stream("latency"), self.config.latency)
+        self.store = NdbStore(env, self.config.ndb)
+        self.ops = NamespaceOps(self.store)
+        self.coordinator = make_coordinator(env, self.config.coordinator_kind)
+        self.platform = FaaSPlatform(
+            env, self.config.faas, rng=self.rngs.stream("faas")
+        )
+        self.partitioner = NamespacePartitioner(self.config.num_deployments)
+        self.subtree = SubtreeProtocol(self, self.config.subtree)
+        self.datanodes = DataNodeService(env, self.store, self.config.datanodes)
+        self.metrics = MetricsRecorder()
+        for name in self.partitioner.deployment_names():
+            self.platform.register_deployment(
+                name, lambda instance: LambdaNameNode(instance, self)
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    def format(self) -> None:
+        """Install the root directory in the persistent store."""
+        self.ops.format()
+
+    def start(self) -> None:
+        """Start platform maintenance and DataNode reporting."""
+        self.platform.start()
+        self.datanodes.start()
+
+    def install_namespace(self, directories: List[str], files: List[str]) -> None:
+        """Pre-create a namespace off the clock (experiment setup)."""
+        self.ops.install_paths(directories, files)
+
+    def prewarm(self, instances_per_deployment: int = 1) -> Generator:
+        """Provision and await warm instances (the paper's workloads
+        begin with a populated NameNode fleet, e.g. 36 NNs in §5.6)."""
+        started = []
+        for name in self.partitioner.deployment_names():
+            deployment = self.platform.deployments[name]
+            for _ in range(instances_per_deployment):
+                if self.platform.can_provision(deployment):
+                    instance = self.platform.provision(deployment)
+                    started.append(instance.started)
+        if started:
+            yield AllOf(self.env, started)
+
+    # -- clients -----------------------------------------------------------
+    def new_vm(self) -> ClientVM:
+        return ClientVM(
+            self.env, self.latency, self.config.clients_per_tcp_server
+        )
+
+    def new_client(self, vm: Optional[ClientVM] = None) -> LambdaFSClient:
+        return LambdaFSClient(self, vm if vm is not None else self.new_vm())
+
+    # -- observability -------------------------------------------------------
+    def active_namenodes(self) -> int:
+        return self.platform.total_live_instances()
+
+    def all_instances(self):
+        return [
+            instance
+            for deployment in self.platform.deployments.values()
+            for instance in deployment.all_instances
+        ]
+
+    def total_requests_served(self) -> int:
+        return sum(instance.requests_served for instance in self.all_instances())
+
+    def total_http_requests(self) -> int:
+        """Billable FaaS invocations (TCP RPCs carry no request fee)."""
+        return sum(
+            instance.http_requests_served for instance in self.all_instances()
+        )
+
+    def cost_usd(self) -> float:
+        """Pay-per-use cost of the run so far (Figure 9 main model)."""
+        return lambda_cost(
+            (instance.busy_ms_snapshot() for instance in self.all_instances()),
+            self.total_http_requests(),
+            self.config.faas.ram_gb_per_instance,
+        )
+
+    def simplified_cost_usd(self) -> float:
+        """Provisioned-lifetime cost ("λFS (Simplified)")."""
+        return simplified_cost(
+            (instance.provisioned_ms() for instance in self.all_instances()),
+            self.total_http_requests(),
+            self.config.faas.ram_gb_per_instance,
+        )

@@ -1,0 +1,440 @@
+"""The λFS serverless NameNode application (§3.3, §3.5).
+
+One :class:`LambdaNameNode` runs inside each FaaS function instance.
+It keeps a trie metadata cache that survives invocations while the
+instance stays warm, serves reads from the cache when possible, and
+runs the ACK-INV coherence protocol before persisting writes.
+
+It also re-implements the serverful DFS maintenance features in a
+serverless-compatible way: rather than holding DataNode heartbeat
+connections, it reads the DataNode reports that are published to the
+persistent metadata store on a regular interval (§1, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
+
+from repro.coordination.coordinator import Invalidation
+from repro.core.errors import FsError
+from repro.core.messages import MetadataRequest, MetadataResponse, OpType
+from repro.metastore.errors import TransactionAborted
+from repro.namespace.cache import MetadataCache
+from repro.namespace.inode import INode, dirent_key, inode_key
+from repro.namespace.paths import components, is_descendant, normalize, parent_of
+from repro.sim import AllOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fs import LambdaFS
+
+
+@dataclass(frozen=True)
+class NameNodeConfig:
+    """Per-NameNode behaviour knobs."""
+
+    cache_capacity: int = 1_000_000
+    cpu_ms_per_op: float = 0.30
+    """CPU to deserialize, dispatch, and serialize one RPC."""
+    cpu_ms_store_fetch: float = 0.12
+    """Extra CPU on the cache-miss path (building queries, caching)."""
+    cpu_ms_write: float = 0.45
+    """Extra CPU for write orchestration (locking, coherence)."""
+    result_cache_ttl_ms: float = 30_000.0
+    datanode_refresh_ms: float = 5_000.0
+    txn_retries: int = 8
+
+
+class LambdaNameNode:
+    """The Java-function NameNode, as a simulation application."""
+
+    def __init__(self, instance, fs: "LambdaFS") -> None:
+        self.instance = instance
+        self.fs = fs
+        self.config = fs.config.namenode
+        self.cache = MetadataCache(capacity=self.config.cache_capacity)
+        self.cache.put("/", INode.root())
+        self._listing_cache: Dict[str, List[str]] = {}
+        # Results are retained briefly so resubmitted requests (after
+        # timeouts or dropped connections) get the original answer
+        # instead of re-running the operation (§3.2).
+        self._result_cache: Dict[int, Tuple[float, MetadataResponse]] = {}
+        self._datanode_view: List[str] = []
+        self._datanode_view_at = -float("inf")
+        self._last_result_purge = 0.0
+
+    # -- lifecycle hooks called by the FaaS instance ---------------------
+    @property
+    def member_id(self) -> str:
+        return self.instance.id
+
+    @property
+    def deployment_name(self) -> str:
+        return self.instance.deployment_name
+
+    def on_start(self) -> None:
+        self.fs.coordinator.register(
+            self.deployment_name, self.member_id, self._on_invalidation
+        )
+        return None
+
+    def on_terminate(self) -> None:
+        self.fs.coordinator.deregister(self.deployment_name, self.member_id)
+
+    # -- request handling ---------------------------------------------------
+    def handle(self, request: MetadataRequest, via: str) -> Generator:
+        """Serve one metadata RPC; returns a :class:`MetadataResponse`."""
+        env = self.fs.env
+        self._purge_result_cache()
+        cached = self._result_cache.get(request.request_id)
+        if cached is not None:
+            yield from self.instance.compute(self.config.cpu_ms_per_op / 2)
+            return cached[1]
+
+        yield from self.instance.compute(self.config.cpu_ms_per_op)
+        try:
+            if request.op is OpType.EXEC_BATCH:
+                value, hit = (yield from self._exec_batch(request)), False
+            elif request.op.is_write:
+                value, hit = yield from self._handle_write(request)
+            else:
+                value, hit = yield from self._handle_read(request)
+            response = MetadataResponse(
+                request_id=request.request_id, ok=True, value=value,
+                served_by=self.member_id, cache_hit=hit,
+            )
+        except (FsError, TransactionAborted) as exc:
+            # TransactionAborted surfaces when every retry of a
+            # store transaction timed out (sustained lock convoys
+            # under overload); the client sees a failed response and
+            # decides whether to resubmit.
+            response = MetadataResponse(
+                request_id=request.request_id, ok=False,
+                error=f"{type(exc).__name__}: {exc}", served_by=self.member_id,
+            )
+        self._result_cache[request.request_id] = (env.now, response)
+        if via == "http":
+            self._connect_back(request)
+        return response
+
+    # -- reads ---------------------------------------------------------------
+    @staticmethod
+    def _full_chain(path: str, known) -> bool:
+        """True when every component of ``path`` (and the root) is
+        cached — required for a safe cache hit, since permission
+        enforcement must see every ancestor."""
+        if "/" not in known or path not in known:
+            return False
+        current = ""
+        for part in components(path):
+            current = f"{current}/{part}"
+            if current not in known:
+                return False
+        return True
+
+    def _handle_read(self, request: MetadataRequest) -> Generator:
+        path = normalize(request.path)
+        known = self.cache.get_path_prefix(path)
+        if request.op is OpType.LS:
+            return (yield from self._handle_ls(path, known))
+        if self._full_chain(path, known):
+            inode = known[path]
+            self.fs.ops.check_traversal(path, known)
+            self.fs.ops.check_readable(path, inode)
+            if request.op is OpType.READ_FILE:
+                yield from self._maybe_refresh_datanodes()
+                return self._file_view(inode), True
+            return inode, True
+        yield from self.instance.compute(self.config.cpu_ms_store_fetch)
+        resolved = yield from self.fs.store.run_transaction(
+            lambda txn: self.fs.ops.resolve(txn, path, known),
+            retries=self.config.txn_retries,
+        )
+        self._cache_resolved(resolved)
+        inode = resolved[path]
+        self.fs.ops.check_traversal(path, resolved)
+        self.fs.ops.check_readable(path, inode)
+        if request.op is OpType.READ_FILE:
+            yield from self._maybe_refresh_datanodes()
+            return self._file_view(inode), False
+        return inode, False
+
+    def _handle_ls(self, path: str, known: Dict[str, INode]) -> Generator:
+        listing = self._listing_cache.get(path)
+        if listing is not None and self._full_chain(path, known):
+            self.fs.ops.check_traversal(path, known)
+            self.fs.ops.check_readable(path, known[path])
+            return list(listing), True
+        yield from self.instance.compute(self.config.cpu_ms_store_fetch)
+
+        def body(txn):
+            return self.fs.ops.ls(txn, path, known)
+
+        resolved, names = yield from self.fs.store.run_transaction(
+            body, retries=self.config.txn_retries
+        )
+        self._cache_resolved(resolved)
+        if resolved[path].is_dir:
+            self._listing_cache[path] = list(names)
+        return names, False
+
+    def _file_view(self, inode: INode) -> dict:
+        """What a READ_FILE returns: metadata plus block locations.
+
+        Placement is computed from the published DataNode reports via
+        rendezvous hashing, so every instance agrees without holding
+        DataNode state (see :mod:`repro.core.blocks`)."""
+        return {
+            "inode": inode,
+            "locations": list(self._datanode_view),
+            "blocks": self.fs.ops.blocks.locations(
+                inode.block_ids, self._datanode_view
+            ),
+        }
+
+    def _maybe_refresh_datanodes(self) -> Generator:
+        """Lazy DataNode discovery from the persistent store."""
+        env = self.fs.env
+        if env.now - self._datanode_view_at < self.config.datanode_refresh_ms:
+            return
+        self._datanode_view_at = env.now
+
+        def body(txn):
+            rows = yield from txn.scan_prefix(("datanode",))
+            return rows
+
+        rows = yield from self.fs.store.run_transaction(body)
+        self._datanode_view = sorted(key[-1] for key in rows)
+
+    # -- writes ---------------------------------------------------------------
+    def _handle_write(self, request: MetadataRequest) -> Generator:
+        yield from self.instance.compute(self.config.cpu_ms_write)
+        if request.op.is_subtree_capable and (yield from self._needs_subtree(request)):
+            value = yield from self.fs.subtree.execute(self, request)
+            return value, False
+
+        env = self.fs.env
+        ops = self.fs.ops
+        attempt = 0
+        while True:
+            txn = self.fs.store.begin(label=request.op.value)
+            try:
+                path = normalize(request.path)
+                known = self.cache.get_path_prefix(path)
+                if request.op is OpType.CREATE_FILE:
+                    inode, resolved = yield from ops.create_file(txn, path, known)
+                    affected = [path, parent_of(path)]
+                    new_entries = {path: inode}
+                    removed: List[str] = []
+                    value: object = inode
+                elif request.op is OpType.MKDIRS:
+                    target, resolved, created = yield from ops.mkdirs(txn, path, known)
+                    affected = [path]
+                    if created:
+                        top = min(
+                            (p for p, i in resolved.items() if i in created),
+                            key=len, default=path,
+                        )
+                        affected.append(parent_of(top))
+                    new_entries = {
+                        p: i for p, i in resolved.items() if i in created
+                    }
+                    removed = []
+                    value = target
+                elif request.op is OpType.DELETE:
+                    target, resolved = yield from ops.delete_single(txn, path, known)
+                    affected = [path, parent_of(path)]
+                    new_entries = {}
+                    removed = [path]
+                    value = True
+                elif request.op is OpType.MV:
+                    dst = normalize(request.dst_path)
+                    moved, resolved = yield from ops.mv_single(txn, path, dst, known)
+                    affected = [path, dst, parent_of(path), parent_of(dst)]
+                    new_entries = {dst: moved}
+                    removed = [path]
+                    value = moved
+                elif request.op is OpType.SET_PERMISSION:
+                    updated, resolved = yield from ops.set_permission(
+                        txn, path, request.payload, known
+                    )
+                    affected = [path]
+                    # Directory INodes are cached as *ancestors* by
+                    # every deployment resolving paths beneath them,
+                    # so a directory-metadata change must reach all
+                    # deployments, not just the path's owner.
+                    broadcast = updated.is_dir
+                    new_entries = {path: updated}
+                    removed = []
+                    value = updated
+                else:  # pragma: no cover - dispatch guard
+                    raise FsError(f"unhandled write op {request.op}")
+
+                # Algorithm 1: INVs go out (and all ACKs return) while
+                # the rows are exclusively locked, *before* persisting.
+                yield from self.run_coherence(
+                    affected, broadcast=locals().get("broadcast", False)
+                )
+                yield from txn.commit()
+                break
+            except TransactionAborted:
+                txn.abort()
+                attempt += 1
+                if attempt > self.config.txn_retries:
+                    raise FsError(f"{request.op.value} on {request.path!r} kept aborting")
+                yield env.timeout(2.0 * (2 ** min(attempt, 6)))
+            except BaseException:
+                txn.abort()  # release locks on application errors
+                raise
+
+        self._apply_local(new_entries, removed, resolved)
+        return value, False
+
+    def _needs_subtree(self, request: MetadataRequest) -> Generator:
+        """True when MV/DELETE targets a directory (subtree protocol)."""
+        if request.op is OpType.DELETE and not request.recursive:
+            return False
+        path = normalize(request.path)
+        known = self.cache.get_path_prefix(path)
+        if path in known:
+            return known[path].is_dir
+        try:
+            resolved = yield from self.fs.store.run_transaction(
+                lambda txn: self.fs.ops.resolve(txn, path, known)
+            )
+        except FsError:
+            return False
+        self._cache_resolved(resolved)
+        return resolved[path].is_dir
+
+    def run_coherence(
+        self, affected_paths: List[str], broadcast: bool = False
+    ) -> Generator:
+        """Send INVs for ``affected_paths`` and await every ACK.
+
+        With ``broadcast`` the INVs go to *every* deployment — needed
+        when a directory's own metadata changes, since directories
+        are cached as ancestors across the whole fleet.
+        """
+        by_deployment: Dict[str, List[str]] = {}
+        if broadcast:
+            for deployment in self.fs.partitioner.deployment_names():
+                by_deployment[deployment] = list(set(affected_paths))
+        else:
+            for path in set(affected_paths):
+                deployment = self.fs.partitioner.deployment_for(path)
+                by_deployment.setdefault(deployment, []).append(path)
+        env = self.fs.env
+        waits = []
+        for deployment, paths in by_deployment.items():
+            exclude = [self.member_id] if deployment == self.deployment_name else []
+            waits.append(env.process(
+                self.fs.coordinator.invalidate(deployment, paths=paths, exclude=exclude)
+            ))
+        if waits:
+            yield AllOf(env, waits)
+
+    def run_subtree_coherence(self, prefix: str, deployments: List[str]) -> Generator:
+        """One prefix INV per deployment caching subtree metadata."""
+        env = self.fs.env
+        waits = []
+        for deployment in deployments:
+            exclude = [self.member_id] if deployment == self.deployment_name else []
+            waits.append(env.process(
+                self.fs.coordinator.invalidate(deployment, prefix=prefix, exclude=exclude)
+            ))
+        if waits:
+            yield AllOf(env, waits)
+        # Leader applies the same invalidation to its own cache.
+        self._invalidate_prefix_local(prefix)
+
+    def _apply_local(
+        self,
+        new_entries: Dict[str, INode],
+        removed: List[str],
+        resolved: Dict[str, INode],
+    ) -> None:
+        """Refresh the leader's own cache after a committed write."""
+        gone = set(removed)
+        for path in removed:
+            self.cache.invalidate(path)
+            self._listing_cache.pop(path, None)
+            self._drop_listing_of_parent(path)
+        for path, inode in resolved.items():
+            if path not in gone:
+                self.cache.put(path, inode)
+        for path, inode in new_entries.items():
+            self.cache.put(path, inode)
+            self._drop_listing_of_parent(path)
+
+    # -- subtree batch execution (helper role) ---------------------------------
+    def _exec_batch(self, request: MetadataRequest) -> Generator:
+        """Execute offloaded sub-operations (Appendix D phase 3)."""
+        actions = request.payload or []
+        yield from self.instance.compute(0.2 + 0.05 * len(actions))
+
+        def body(txn):
+            for action in actions:
+                kind = action[0]
+                if kind == "delete_inode":
+                    _, target_id, parent_id, name = action
+                    yield from txn.delete(dirent_key(parent_id, name))
+                    yield from txn.delete(inode_key(target_id))
+                elif kind == "touch_inode":
+                    _, target_id = action
+                    inode = txn._visible(inode_key(target_id))
+                    if inode is not None:
+                        yield from txn.write(inode_key(target_id), inode)
+            return len(actions)
+
+        return (yield from self.fs.store.run_transaction(body))
+
+    # -- invalidation handling (follower role) -----------------------------------
+    def _on_invalidation(self, inv: Invalidation) -> None:
+        if inv.is_subtree:
+            self._invalidate_prefix_local(inv.prefix)
+            return
+        for path in inv.paths:
+            self.cache.invalidate(path)
+            self._listing_cache.pop(path, None)
+            self._drop_listing_of_parent(path)
+
+    def _invalidate_prefix_local(self, prefix: str) -> None:
+        self.cache.invalidate_prefix(prefix)
+        for cached_path in list(self._listing_cache):
+            if is_descendant(cached_path, prefix):
+                del self._listing_cache[cached_path]
+        self._drop_listing_of_parent(prefix)
+
+    def _drop_listing_of_parent(self, path: str) -> None:
+        if normalize(path) != "/":
+            self._listing_cache.pop(parent_of(path), None)
+
+    # -- misc ----------------------------------------------------------------------
+    def _cache_resolved(self, resolved: Dict[str, INode]) -> None:
+        for path, inode in resolved.items():
+            self.cache.put(path, inode)
+
+    def _connect_back(self, request: MetadataRequest) -> None:
+        """Proactively open TCP connections to the client's servers."""
+        for server in request.tcp_servers:
+            server.connect_from(self.instance)
+
+    def _purge_result_cache(self) -> None:
+        now = self.fs.env.now
+        ttl = self.config.result_cache_ttl_ms
+        # Purging is amortized: scan at most once per quarter-TTL so
+        # a full cache does not trigger a rescan on every request.
+        if (
+            len(self._result_cache) < 4096
+            or now - self._last_result_purge < ttl / 4
+        ):
+            return
+        self._last_result_purge = now
+        expired = [
+            request_id
+            for request_id, (at, _) in self._result_cache.items()
+            if now - at > ttl
+        ]
+        for request_id in expired:
+            del self._result_cache[request_id]

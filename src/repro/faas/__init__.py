@@ -1,0 +1,33 @@
+"""A serverless (FaaS) platform in the style of Apache OpenWhisk.
+
+Models exactly the platform behaviours λFS' design leans on:
+
+* **deployments** — *n* uniquely named serverless functions whose
+  instances auto-scale independently (§2 Terminology);
+* **cold starts** — provisioning a new function instance takes
+  hundreds of milliseconds;
+* **ConcurrencyLevel** — how many HTTP requests one instance serves
+  simultaneously; the coarse-grained scaling knob of Figure 6;
+* **scale-out** — an HTTP invocation with no available instance
+  provisions one (capacity permitting);
+* **scale-in** — idle instances are reclaimed after a timeout;
+* **cluster vCPU cap + eviction** — a bounded private cloud evicts
+  idle containers to make room, producing the thrashing behaviour of
+  Appendix C when the cap is tight.
+"""
+
+from repro.faas.platform import (
+    Deployment,
+    FaaSConfig,
+    FaaSPlatform,
+    FunctionInstance,
+    InstanceTerminated,
+)
+
+__all__ = [
+    "Deployment",
+    "FaaSConfig",
+    "FaaSPlatform",
+    "FunctionInstance",
+    "InstanceTerminated",
+]

@@ -1,0 +1,82 @@
+"""Fault injection for FaaS fleets (§5.6 fault-tolerance testing).
+
+The paper's fault-tolerance experiment terminates an active NameNode
+every 30 seconds, targeting each deployment in round-robin fashion.
+:class:`NameNodeKiller` reproduces that as a reusable process, with
+hooks for the experiments and examples that need kill logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.faas.platform import FaaSPlatform
+from repro.sim import Environment, Interrupt
+
+
+@dataclass
+class KillRecord:
+    time_ms: float
+    instance_id: str
+    deployment: str
+
+
+class NameNodeKiller:
+    """Terminates one warm instance per interval, round-robin."""
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: FaaSPlatform,
+        interval_ms: float,
+        deployments: Optional[List[str]] = None,
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.env = env
+        self.platform = platform
+        self.interval_ms = interval_ms
+        self._names = deployments
+        self.kills: List[KillRecord] = []
+        self._process = None
+
+    def start(self) -> None:
+        if self._process is None or not self._process.is_alive:
+            self._process = self.env.process(self._loop())
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt()
+        self._process = None
+
+    def _targets(self) -> List[str]:
+        if self._names is not None:
+            return self._names
+        return sorted(self.platform.deployments)
+
+    def _loop(self) -> Generator:
+        index = 0
+        names = self._targets()
+        try:
+            while True:
+                yield self.env.timeout(self.interval_ms)
+                # Round-robin over deployments; skip ones with no warm
+                # instance right now.
+                for _ in range(len(names)):
+                    deployment = self.platform.deployments[names[index % len(names)]]
+                    index += 1
+                    warm = [
+                        instance
+                        for instance in deployment.live_instances()
+                        if instance.state == "warm"
+                    ]
+                    if warm:
+                        victim = warm[0]
+                        self.kills.append(KillRecord(
+                            self.env.now, victim.id, deployment.name
+                        ))
+                        victim.terminate(reason="fault")
+                        break
+        except Interrupt:
+            return

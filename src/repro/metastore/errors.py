@@ -1,0 +1,17 @@
+"""Exceptions raised by the metadata stores."""
+
+
+class StoreError(Exception):
+    """Base class for store failures."""
+
+
+class TransactionAborted(StoreError):
+    """The transaction was aborted and its effects discarded."""
+
+
+class LockTimeout(TransactionAborted):
+    """A row lock could not be acquired within the wait budget.
+
+    Mirrors NDB's lock-wait-timeout behaviour; the enclosing
+    transaction is aborted and the caller is expected to retry.
+    """

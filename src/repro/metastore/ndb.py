@@ -1,0 +1,330 @@
+"""A MySQL-Cluster-NDB-like persistent metadata store.
+
+The store is sharded; each shard has a finite pool of worker threads
+(a :class:`~repro.sim.Resource`) and a per-row service time, so the
+store saturates realistically: cache-less systems (HopsFS) hit its
+read ceiling and every system hits its write ceiling — the effects
+the paper's evaluation leans on (§5.3: "the persistent metadata store
+quickly becomes a bottleneck").
+
+Transactions provide strict two-phase locking over row keys, ACID
+apply-at-commit semantics, and NDB-style lock-wait timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
+
+from repro._util import stable_hash
+from repro.metastore.errors import TransactionAborted
+from repro.metastore.locks import LockManager, LockMode
+from repro.sim import Environment, Resource
+
+
+@dataclass(frozen=True)
+class NdbConfig:
+    """Capacity and latency knobs for the store.
+
+    Defaults approximate the paper's 4-data-node NDB deployment,
+    scaled to simulation units (milliseconds).
+    """
+
+    shards: int = 4
+    workers_per_shard: int = 8
+    read_service_ms: float = 0.30
+    write_service_ms: float = 1.30
+    commit_service_ms: float = 0.50
+    rtt_ms: float = 0.5
+    lock_timeout_ms: float = 2_000.0
+    batch_row_discount: float = 0.25
+    """Extra rows in one batched query cost this fraction of a full row
+    (models NDB batched primary-key reads; §2's single batch query)."""
+
+
+@dataclass
+class NdbStats:
+    """Aggregate counters, including busy-time for utilization."""
+
+    reads: int = 0
+    rows_read: int = 0
+    writes: int = 0
+    commits: int = 0
+    aborts: int = 0
+    scans: int = 0
+    busy_ms: float = 0.0
+
+
+class NdbStore:
+    """The sharded transactional store."""
+
+    def __init__(self, env: Environment, config: Optional[NdbConfig] = None) -> None:
+        self.env = env
+        self.config = config or NdbConfig()
+        self._data: Dict[Any, Any] = {}
+        self._prefix_index: Dict[Any, Set[Any]] = {}
+        self.locks = LockManager(env, self.config.lock_timeout_ms)
+        self._shards: List[Resource] = [
+            Resource(env, capacity=self.config.workers_per_shard)
+            for _ in range(self.config.shards)
+        ]
+        self._txn_ids = count(1)
+        self.stats = NdbStats()
+
+    # -- direct (non-transactional) access ------------------------------
+    def peek(self, key: Any) -> Any:
+        """Committed value without cost or locks (tests/bootstrap only)."""
+        return self._data.get(key)
+
+    def load_bulk(self, items: Dict[Any, Any]) -> None:
+        """Install rows instantly (experiment setup, not on the clock)."""
+        for key, value in items.items():
+            self._apply_write(key, value)
+
+    def keys_with_prefix(self, prefix: Tuple) -> List[Any]:
+        """Committed keys whose ``key[:-1]`` equals ``prefix``."""
+        return sorted(self._prefix_index.get(prefix, ()), key=repr)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- transactions ----------------------------------------------------
+    def begin(self, label: str = "") -> "Transaction":
+        """Start a new transaction."""
+        return Transaction(self, next(self._txn_ids), label)
+
+    def run_transaction(
+        self,
+        body: Callable[["Transaction"], Generator],
+        retries: int = 8,
+        backoff_ms: float = 2.0,
+    ) -> Generator:
+        """Run ``body`` with retry-on-abort; returns the body's value.
+
+        ``body`` is a generator function taking the transaction; it is
+        retried with exponential backoff when aborted (lock timeouts).
+        """
+        attempt = 0
+        while True:
+            txn = self.begin()
+            try:
+                result = yield from body(txn)
+                yield from txn.commit()
+                return result
+            except TransactionAborted:
+                txn.abort()
+                attempt += 1
+                if attempt > retries:
+                    raise
+                yield self.env.timeout(backoff_ms * (2 ** (attempt - 1)))
+            except BaseException:
+                # Application errors (NotFound, AlreadyExists, ...)
+                # must release the transaction's locks on the way out
+                # or the rows stay poisoned forever.
+                txn.abort()
+                raise
+
+    # -- internals shared with Transaction ------------------------------
+    def _shard_of(self, key: Any) -> Resource:
+        return self._shards[stable_hash(key) % len(self._shards)]
+
+    def _service(self, shard: Resource, service_ms: float) -> Generator:
+        """One shard access: half RTT, queue for a worker, serve, half RTT."""
+        half_rtt = self.config.rtt_ms / 2.0
+        if half_rtt:
+            yield self.env.timeout(half_rtt)
+        with shard.request() as slot:
+            yield slot
+            self.stats.busy_ms += service_ms
+            yield self.env.timeout(service_ms)
+        if half_rtt:
+            yield self.env.timeout(half_rtt)
+
+    def _service_batch(self, keys: Iterable[Any], base_ms: float) -> Generator:
+        """Access several rows as one batched request.
+
+        NDB routes a transaction through one transaction coordinator,
+        which fans out to data nodes; we model the batch as a single
+        access on the coordinating shard (chosen by the first key)
+        whose cost grows sub-linearly with the row count — the same
+        capacity semantics with far fewer simulation events.
+        """
+        key_list = list(keys)
+        if not key_list:
+            return
+        cost = base_ms * (
+            1 + self.config.batch_row_discount * (len(key_list) - 1)
+        )
+        # The coordinating shard is picked by the whole key set, not
+        # the first key: distinct batches spread across shards even
+        # when they share a common prefix (e.g. the root dirent that
+        # every path resolution touches).
+        coordinator = self._shards[stable_hash(tuple(key_list)) % len(self._shards)]
+        yield from self._service(coordinator, cost)
+
+    def _apply_write(self, key: Any, value: Any) -> None:
+        if value is _TOMBSTONE:
+            self._data.pop(key, None)
+            prefix = key[:-1] if isinstance(key, tuple) and len(key) > 1 else None
+            if prefix is not None:
+                bucket = self._prefix_index.get(prefix)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del self._prefix_index[prefix]
+            return
+        self._data[key] = value
+        if isinstance(key, tuple) and len(key) > 1:
+            self._prefix_index.setdefault(key[:-1], set()).add(key)
+
+
+_TOMBSTONE = object()
+
+
+class Transaction:
+    """One ACID transaction against an :class:`NdbStore`.
+
+    Reads take shared locks, writes take exclusive locks; staged
+    writes become visible only at :meth:`commit`.  All time-costing
+    methods are generators (``yield from`` them inside a process).
+    """
+
+    def __init__(self, store: NdbStore, txn_id: int, label: str = "") -> None:
+        self.store = store
+        self.id = txn_id
+        self.label = label
+        self._staged: Dict[Any, Any] = {}
+        self._locked: Set[Any] = set()
+        self._done = False
+
+    def __repr__(self) -> str:
+        tag = f" {self.label}" if self.label else ""
+        return f"<Txn {self.id}{tag}>"
+
+    # -- locking ---------------------------------------------------------
+    def lock(self, key: Any, exclusive: bool = False) -> Generator:
+        """Acquire a row lock (aborting this txn on timeout)."""
+        self._check_open()
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        try:
+            yield from self.store.locks.acquire(self, key, mode)
+        except TransactionAborted:
+            self.abort()
+            raise
+        self._locked.add(key)
+
+    def lock_many(
+        self,
+        keys: Iterable[Any],
+        exclusive: bool = False,
+        exclusive_keys: Iterable[Any] = (),
+    ) -> Generator:
+        """Lock several keys in canonical order (deadlock avoidance).
+
+        ``exclusive_keys`` names keys to lock in write mode even when
+        ``exclusive`` is False — callers that know they will modify a
+        row take the write lock up front instead of upgrading later
+        (upgrades between concurrent readers deadlock).
+        """
+        strong = set(exclusive_keys)
+        for key in sorted(set(keys) | strong, key=repr):
+            yield from self.lock(key, exclusive or key in strong)
+
+    # -- reads -------------------------------------------------------------
+    def read(self, key: Any) -> Generator:
+        """Read one row (shared lock + one shard access)."""
+        self._check_open()
+        yield from self.lock(key)
+        yield from self.store._service(
+            self.store._shard_of(key), self.store.config.read_service_ms
+        )
+        self.store.stats.reads += 1
+        self.store.stats.rows_read += 1
+        return self._visible(key)
+
+    def read_many(
+        self, keys: Iterable[Any], exclusive_keys: Iterable[Any] = ()
+    ) -> Generator:
+        """Batched multi-row read (the HopsFS "single batch query")."""
+        self._check_open()
+        key_list = list(keys)
+        yield from self.lock_many(key_list, exclusive_keys=exclusive_keys)
+        yield from self.store._service_batch(key_list, self.store.config.read_service_ms)
+        self.store.stats.reads += 1
+        self.store.stats.rows_read += len(key_list)
+        return {key: self._visible(key) for key in key_list}
+
+    def scan_prefix(self, prefix: Tuple) -> Generator:
+        """Read every row under ``prefix`` (index scan, shared locks)."""
+        self._check_open()
+        keys = self.store.keys_with_prefix(prefix)
+        # Include rows this txn itself staged under the prefix.
+        for key in self._staged:
+            if isinstance(key, tuple) and key[:-1] == prefix and key not in keys:
+                keys.append(key)
+        yield from self.lock_many(keys)
+        yield from self.store._service_batch(keys, self.store.config.read_service_ms)
+        self.store.stats.scans += 1
+        self.store.stats.rows_read += len(keys)
+        result = {}
+        for key in keys:
+            value = self._visible(key)
+            if value is not None:
+                result[key] = value
+        return result
+
+    # -- writes ------------------------------------------------------------
+    def write(self, key: Any, value: Any) -> Generator:
+        """Stage a row write (exclusive lock now, visible at commit)."""
+        self._check_open()
+        yield from self.lock(key, exclusive=True)
+        self._staged[key] = value
+
+    def delete(self, key: Any) -> Generator:
+        """Stage a row delete."""
+        self._check_open()
+        yield from self.lock(key, exclusive=True)
+        self._staged[key] = _TOMBSTONE
+
+    # -- completion ----------------------------------------------------------
+    def commit(self) -> Generator:
+        """Apply staged writes and release all locks."""
+        self._check_open()
+        if self._staged:
+            yield from self.store._service_batch(
+                self._staged.keys(), self.store.config.write_service_ms
+            )
+            yield from self.store._service(
+                self.store._shard_of(("__commit__", self.id)),
+                self.store.config.commit_service_ms,
+            )
+            for key, value in self._staged.items():
+                self.store._apply_write(key, value)
+            self.store.stats.writes += len(self._staged)
+        self.store.stats.commits += 1
+        self._finish()
+
+    def abort(self) -> None:
+        """Discard staged writes and release all locks (instantaneous)."""
+        if self._done:
+            return
+        self.store.stats.aborts += 1
+        self._finish()
+
+    # -- internals -------------------------------------------------------------
+    def _visible(self, key: Any) -> Any:
+        if key in self._staged:
+            value = self._staged[key]
+            return None if value is _TOMBSTONE else value
+        return self.store.peek(key)
+
+    def _finish(self) -> None:
+        self.store.locks.release_all(self, self._locked)
+        self._locked.clear()
+        self._staged.clear()
+        self._done = True
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise TransactionAborted(f"{self!r} is already finished")

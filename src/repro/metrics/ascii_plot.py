@@ -1,0 +1,87 @@
+"""Terminal plotting for experiment output.
+
+Benchmarks and examples print series the paper shows as figures;
+these helpers render them as sparklines, horizontal bar charts, and
+multi-series line plots in plain text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of ``values``."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    steps = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int(round((value - low) / span * steps))]
+        for value in values
+    )
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one ``(label, value)`` per row."""
+    if not rows:
+        return ""
+    label_width = max(len(label) for label, _ in rows)
+    peak = max(value for _, value in rows) or 1.0
+    lines = []
+    for label, value in rows:
+        bar = "█" * max(1 if value > 0 else 0, int(round(value / peak * width)))
+        lines.append(
+            f"{label.ljust(label_width)}  {bar} {value:,.0f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 14,
+) -> str:
+    """Plot several (x, y) series on one character grid.
+
+    Each series gets a marker from its name's first character; axes
+    are labeled with min/max values.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return ""
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        marker = name.strip()[0] if name.strip() else "?"
+        for x, y in values:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = marker
+
+    lines = [f"{y_high:>10,.0f} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_low:>10,.0f} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_low:<10,.0f}" + " " * max(0, width - 20) + f"{x_high:>10,.0f}"
+    )
+    legend = "   ".join(f"{name.strip()[0]} = {name}" for name in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

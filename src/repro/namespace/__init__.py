@@ -1,0 +1,35 @@
+"""File-system namespace model shared by every MDS in this repository.
+
+The authoritative namespace lives in a persistent metadata store
+(:mod:`repro.metastore`) as INode and directory-entry rows; this
+package provides the data model (:class:`INode`), path utilities, and
+the in-memory trie cache (:class:`MetadataCache`) used by caching
+NameNodes (λFS, HopsFS+Cache, λIndexFS).
+"""
+
+from repro.namespace.cache import CacheStats, MetadataCache
+from repro.namespace.inode import INode, ROOT_INODE_ID
+from repro.namespace.paths import (
+    components,
+    is_descendant,
+    join,
+    normalize,
+    parent_of,
+    split,
+)
+from repro.namespace.treegen import TreeSpec, generate_tree
+
+__all__ = [
+    "CacheStats",
+    "INode",
+    "MetadataCache",
+    "ROOT_INODE_ID",
+    "TreeSpec",
+    "components",
+    "generate_tree",
+    "is_descendant",
+    "join",
+    "normalize",
+    "parent_of",
+    "split",
+]

@@ -1,0 +1,234 @@
+"""Trie-backed metadata cache with prefix invalidation (§3.3, App. D).
+
+λFS NameNodes cache the metadata of *every* INode along a resolved
+path, stored in an in-memory trie.  The trie shape makes subtree
+(prefix) invalidations cheap: invalidating "/foo" prunes one subtree
+node instead of touching each cached descendant individually.
+
+Capacity is bounded: when the number of cached INodes exceeds
+``capacity`` the least-recently-used *leaves* are evicted, which is
+how the "reduced-cache λFS" configuration of §5.2.3 is expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.namespace.inode import INode
+from repro.namespace.paths import components, normalize
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidations counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _TrieNode:
+    __slots__ = ("name", "inode", "children", "parent", "last_used")
+
+    def __init__(self, name: str, parent: Optional["_TrieNode"]) -> None:
+        self.name = name
+        self.inode: Optional[INode] = None
+        self.children: Dict[str, "_TrieNode"] = {}
+        self.parent = parent
+        self.last_used = 0.0
+
+
+class MetadataCache:
+    """An LRU-bounded path trie of INode snapshots."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._root = _TrieNode("", None)
+        self._size = 0
+        self._clock = 0.0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _tick(self) -> float:
+        self._clock += 1.0
+        return self._clock
+
+    # -- lookups -------------------------------------------------------
+    def get(self, path: str) -> Optional[INode]:
+        """The cached INode for ``path``, or None on a miss."""
+        node = self._find(path)
+        if node is None or node.inode is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._touch(node)
+        return node.inode
+
+    def get_path_prefix(self, path: str) -> Dict[str, INode]:
+        """All cached INodes along ``path``, keyed by their path.
+
+        Used for path resolution: the NameNode only needs to fetch the
+        suffix that is missing from the cache.
+        """
+        found: Dict[str, INode] = {}
+        node = self._root
+        current = ""
+        if node.inode is not None:
+            found["/"] = node.inode
+        for part in components(path):
+            node = node.children.get(part)
+            if node is None:
+                break
+            current = f"{current}/{part}"
+            if node.inode is not None:
+                found[current] = node.inode
+                self._touch(node)
+        return found
+
+    def __contains__(self, path: str) -> bool:
+        node = self._find(path)
+        return node is not None and node.inode is not None
+
+    # -- mutation ------------------------------------------------------
+    def put(self, path: str, inode: INode) -> None:
+        """Insert or refresh the cached INode for ``path``."""
+        parts = components(path)
+        node = self._root
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                child = _TrieNode(part, node)
+                node.children[part] = child
+            node = child
+        if node.inode is None:
+            self._size += 1
+            self.stats.insertions += 1
+        node.inode = inode
+        self._touch(node)
+        self._evict_if_needed()
+
+    def invalidate(self, path: str) -> int:
+        """Drop the single entry for ``path``; returns entries removed."""
+        node = self._find(path)
+        if node is None or node.inode is None:
+            return 0
+        node.inode = None
+        self._size -= 1
+        self.stats.invalidations += 1
+        self._prune(node)
+        return 1
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop ``prefix`` and everything beneath it (subtree INV).
+
+        This is the trie-powered prefix invalidation from Appendix D:
+        the whole subtree is detached in one step.
+        """
+        normalized = normalize(prefix)
+        if normalized == "/":
+            removed = self._size
+            self._root = _TrieNode("", None)
+            self._size = 0
+            self.stats.invalidations += removed
+            return removed
+        node = self._find(normalized)
+        if node is None:
+            return 0
+        removed = self._count_entries(node)
+        parent = node.parent
+        if parent is not None:
+            del parent.children[node.name]
+            self._prune(parent)
+        self._size -= removed
+        self.stats.invalidations += removed
+        return removed
+
+    def clear(self) -> None:
+        """Drop everything (used when an instance restarts cold)."""
+        self._root = _TrieNode("", None)
+        self._size = 0
+
+    # -- iteration -------------------------------------------------------
+    def paths(self) -> Iterator[str]:
+        """Yield every cached path (for tests and debugging)."""
+
+        def walk(node: _TrieNode, path: str) -> Iterator[str]:
+            if node.inode is not None:
+                yield path or "/"
+            for name, child in node.children.items():
+                yield from walk(child, f"{path}/{name}")
+
+        yield from walk(self._root, "")
+
+    # -- internals -------------------------------------------------------
+    def _find(self, path: str) -> Optional[_TrieNode]:
+        node = self._root
+        for part in components(path):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def _touch(self, node: _TrieNode) -> None:
+        node.last_used = self._tick()
+
+    def _count_entries(self, node: _TrieNode) -> int:
+        total = 1 if node.inode is not None else 0
+        for child in node.children.values():
+            total += self._count_entries(child)
+        return total
+
+    def _prune(self, node: _TrieNode) -> None:
+        """Remove empty trie branches bottom-up."""
+        while (
+            node.parent is not None
+            and node.inode is None
+            and not node.children
+        ):
+            parent = node.parent
+            del parent.children[node.name]
+            node = parent
+
+    def _evict_if_needed(self) -> None:
+        while self._size > self.capacity:
+            victim = self._lru_leaf()
+            if victim is None:
+                return
+            victim.inode = None
+            self._size -= 1
+            self.stats.evictions += 1
+            self._prune(victim)
+
+    def _lru_leaf(self) -> Optional[_TrieNode]:
+        """The least-recently-used node holding an entry.
+
+        Walking the whole trie is O(size); capacities in experiments
+        are small enough that this stays off the critical path, and it
+        keeps eviction correct under prefix invalidations without a
+        separate intrusive list.
+        """
+        best: Optional[_TrieNode] = None
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.inode is not None and (
+                best is None or node.last_used < best.last_used
+            ):
+                best = node
+            stack.extend(node.children.values())
+        return best

@@ -1,0 +1,65 @@
+"""Path manipulation helpers (POSIX-style absolute paths)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+
+@lru_cache(maxsize=65_536)
+def normalize(path: str) -> str:
+    """Normalize ``path`` to a canonical absolute form.
+
+    Collapses repeated slashes and trailing slashes; the root is "/".
+    Relative paths are rejected because DFS clients always issue
+    absolute paths.  Memoized: normalization is pure and the same hot
+    paths are normalized millions of times in large experiments.
+    """
+    if not path or not path.startswith("/"):
+        raise ValueError(f"path must be absolute, got {path!r}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part in (".", ".."):
+            raise ValueError(f"path must not contain {part!r}: {path!r}")
+    return "/" + "/".join(parts)
+
+
+def components(path: str) -> List[str]:
+    """Split a normalized path into its components (root excluded)."""
+    normalized = normalize(path)
+    if normalized == "/":
+        return []
+    return normalized[1:].split("/")
+
+
+def split(path: str) -> Tuple[str, str]:
+    """Return ``(parent, name)`` of ``path``; the root has no name."""
+    normalized = normalize(path)
+    if normalized == "/":
+        raise ValueError("the root directory has no parent")
+    parent, _, name = normalized.rpartition("/")
+    return (parent or "/", name)
+
+
+def parent_of(path: str) -> str:
+    """The parent directory of ``path``."""
+    return split(path)[0]
+
+
+def join(parent: str, name: str) -> str:
+    """Join a parent path and a child name."""
+    base = normalize(parent)
+    if "/" in name or not name:
+        raise ValueError(f"invalid child name {name!r}")
+    if base == "/":
+        return "/" + name
+    return f"{base}/{name}"
+
+
+def is_descendant(path: str, ancestor: str) -> bool:
+    """True if ``path`` equals or lies beneath ``ancestor``."""
+    child = normalize(path)
+    root = normalize(ancestor)
+    if root == "/":
+        return True
+    return child == root or child.startswith(root + "/")

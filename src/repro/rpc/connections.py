@@ -1,0 +1,170 @@
+"""TCP servers, connections, and per-VM connection sharing (Fig. 4).
+
+Every client VM runs one or more TCP servers; by default all clients
+on a VM share one server, and users may cap clients-per-server so new
+servers are created as clients are added.  A NameNode that serves an
+HTTP request "connects back" to every TCP server advertised in the
+request payload.  When a client's own server lacks a connection to
+the target deployment, it borrows one from a sibling server on the
+same VM (one extra intra-VM hop), exactly as in Figure 4.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.rpc.latency import LatencyModel
+from repro.sim import Environment
+
+
+class ConnectionDropped(Exception):
+    """The TCP peer went away mid-request."""
+
+
+class TcpConnection:
+    """A live TCP connection between a TCP server and a NameNode."""
+
+    _ids = count(1)
+
+    def __init__(self, server: "TcpServer", instance: Any) -> None:
+        self.id = next(self._ids)
+        self.server = server
+        self.instance = instance
+        self.alive = True
+
+    @property
+    def deployment(self) -> str:
+        return self.instance.deployment_name
+
+    def close(self) -> None:
+        self.alive = False
+        self.server._drop(self)
+
+    def call(self, request: Any) -> Generator:
+        """Issue ``request`` over this connection and await the reply.
+
+        Raises :class:`ConnectionDropped` if the peer dies before or
+        during the exchange (the caller's retry logic handles it).
+        """
+        env = self.server.env
+        latency = self.server.latency
+        if not self.alive or not self.instance.is_alive:
+            self.close()
+            raise ConnectionDropped(f"connection {self.id} is down")
+        yield env.timeout(latency.tcp_oneway())
+        if not self.instance.is_alive:
+            self.close()
+            raise ConnectionDropped(f"{self.deployment} died before serving")
+        response = yield from self.instance.serve(request, via="tcp")
+        if not self.alive or not self.instance.is_alive:
+            self.close()
+            raise ConnectionDropped(f"{self.deployment} died mid-request")
+        yield env.timeout(latency.tcp_oneway())
+        return response
+
+
+class TcpServer:
+    """One TCP endpoint on a client VM."""
+
+    _ids = count(1)
+
+    def __init__(self, env: Environment, vm: "ClientVM", latency: LatencyModel) -> None:
+        self.id = next(self._ids)
+        self.env = env
+        self.vm = vm
+        self.latency = latency
+        self._by_deployment: Dict[str, List[TcpConnection]] = {}
+        self._rotation: Dict[str, int] = {}
+
+    def connect_from(self, instance: Any) -> TcpConnection:
+        """Accept a connection initiated by a NameNode instance."""
+        for existing in self._by_deployment.get(instance.deployment_name, ()):
+            if existing.alive and existing.instance is instance:
+                return existing
+        connection = TcpConnection(self, instance)
+        self._by_deployment.setdefault(instance.deployment_name, []).append(connection)
+        instance.attach_connection(connection)
+        return connection
+
+    def find(self, deployment: str) -> Optional[TcpConnection]:
+        """A live connection to ``deployment``, or None.
+
+        Rotates round-robin over the live connections so clients
+        spread TCP load across every instance of a deployment that
+        has connected back, instead of pinning the first one.
+        """
+        connections = self._by_deployment.get(deployment, [])
+        if not connections:
+            return None
+        start = self._rotation.get(deployment, 0)
+        count = len(connections)
+        for offset in range(count):
+            connection = connections[(start + offset) % count]
+            if connection.alive and connection.instance.is_alive:
+                self._rotation[deployment] = (start + offset + 1) % count
+                return connection
+        return None
+
+    def connection_count(self, deployment: Optional[str] = None) -> int:
+        if deployment is not None:
+            return len([c for c in self._by_deployment.get(deployment, []) if c.alive])
+        return sum(
+            len([c for c in conns if c.alive])
+            for conns in self._by_deployment.values()
+        )
+
+    def _drop(self, connection: TcpConnection) -> None:
+        connections = self._by_deployment.get(connection.deployment, [])
+        try:
+            connections.remove(connection)
+        except ValueError:
+            pass
+
+
+class ClientVM:
+    """A client VM hosting clients and their TCP servers."""
+
+    _ids = count(1)
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: LatencyModel,
+        clients_per_server: int = 128,
+    ) -> None:
+        if clients_per_server <= 0:
+            raise ValueError("clients_per_server must be positive")
+        self.id = next(self._ids)
+        self.env = env
+        self.latency = latency
+        self.clients_per_server = clients_per_server
+        self.servers: List[TcpServer] = []
+        self._client_count = 0
+
+    def assign_server(self) -> TcpServer:
+        """Server for the next client (new servers created as needed)."""
+        index = self._client_count // self.clients_per_server
+        self._client_count += 1
+        while len(self.servers) <= index:
+            self.servers.append(TcpServer(self.env, self, self.latency))
+        return self.servers[index]
+
+    def find_shared(self, deployment: str, own_server: TcpServer) -> Generator:
+        """Connection-sharing lookup (Figure 4).
+
+        Checks the client's own server first; then the sibling servers
+        on this VM, paying one intra-VM hop.  Returns a live
+        connection or None.
+        """
+        connection = own_server.find(deployment)
+        if connection is not None:
+            return connection
+        for server in self.servers:
+            if server is own_server:
+                continue
+            connection = server.find(deployment)
+            if connection is not None:
+                yield self.env.timeout(self.latency.intra_vm())
+                return connection
+        return None

@@ -1,0 +1,44 @@
+"""Network latency distributions.
+
+Calibrated from §3.2: end-to-end read latency was 1–2 ms over TCP and
+8–20 ms over HTTP; TCP also shows much lower variance.  One-way
+network components are set so that round trips (plus server-side
+processing) land in those windows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    tcp_oneway_min_ms: float = 0.25
+    tcp_oneway_max_ms: float = 0.55
+    http_oneway_min_ms: float = 3.5
+    http_oneway_max_ms: float = 8.5
+    gateway_overhead_ms: float = 0.8
+    """Extra queueing/routing at the FaaS API gateway per invocation."""
+    intra_vm_ms: float = 0.05
+    """Hop between co-located TCP servers (connection sharing)."""
+
+
+class LatencyModel:
+    """Draws latencies from a dedicated RNG stream."""
+
+    def __init__(self, rng: random.Random, config: LatencyConfig | None = None) -> None:
+        self.rng = rng
+        self.config = config or LatencyConfig()
+
+    def tcp_oneway(self) -> float:
+        return self.rng.uniform(self.config.tcp_oneway_min_ms, self.config.tcp_oneway_max_ms)
+
+    def http_oneway(self) -> float:
+        return self.rng.uniform(self.config.http_oneway_min_ms, self.config.http_oneway_max_ms)
+
+    def gateway(self) -> float:
+        return self.config.gateway_overhead_ms
+
+    def intra_vm(self) -> float:
+        return self.config.intra_vm_ms

@@ -1,0 +1,28 @@
+"""Exponential backoff with randomized jitter (§3.2).
+
+Naively resubmitting timed-out HTTP requests causes request storms
+that overwhelm the FaaS platform; the λFS client library instead
+sleeps following an exponential backoff pattern with jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    base_ms: float = 20.0
+    factor: float = 2.0
+    max_ms: float = 2_000.0
+    jitter: float = 0.5
+    max_attempts: int = 8
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_ms * (self.factor ** (attempt - 1)), self.max_ms)
+        spread = raw * self.jitter
+        return max(0.0, raw - spread + rng.random() * 2 * spread)

@@ -1,0 +1,134 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Process, Timeout
+
+#: Scheduling priorities.  Lower runs first at equal time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop the run loop when the until-event fires."""
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float; this repository's convention is **milliseconds**.
+    The environment is fully deterministic: ties in time are broken by
+    priority then insertion order.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (milliseconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories ---------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        priority: int = PRIORITY_NORMAL,
+        delay: float = 0.0,
+    ) -> None:
+        """Queue ``event`` to be processed after ``delay``."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event in the queue."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure crashes the simulation, mirroring an
+            # uncaught exception in real code.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (an event, a time, or queue exhaustion).
+
+        Returns the value of the until-event, if one was given.
+        """
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+            else:
+                at = float(until)
+                if at <= self._now:
+                    raise ValueError(
+                        f"until ({at}) must be in the future (now={self._now})"
+                    )
+                stop_event = Event(self)
+                # Urgent priority: stop before same-time normal events run.
+                self.schedule(stop_event, priority=PRIORITY_URGENT, delay=at - self._now)
+                stop_event._ok = True
+                stop_event._value = None
+
+            stop_event.callbacks.append(_stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise RuntimeError(
+                    f"no scheduled events left but until={stop_event!r} pending"
+                ) from None
+            return None
+
+
+def _stop_callback(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    raise event._value

@@ -1,0 +1,316 @@
+"""Event primitives for the simulation kernel.
+
+Events follow the SimPy model: an event is created *pending*, may be
+*triggered* with a value (success) or an exception (failure), and once
+processed by the environment it invokes its registered callbacks.
+Processes are events themselves, so one process can wait for another.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.core import Environment
+
+PENDING = object()
+"""Sentinel marking an event whose value has not been set yet."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An event that may happen at some point in simulated time."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok = True
+        self._defused = False
+
+    def __repr__(self) -> str:
+        status = "pending" if self._value is PENDING else repr(self._value)
+        return f"<{type(self).__name__} {status}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True if the event has a value (it has been scheduled)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful when triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The triggered value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+    # -- composition -------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a new process on the next step."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=0)
+
+
+class Process(Event):
+    """Wraps a generator so it can be scheduled by the environment.
+
+    The generator yields :class:`Event` instances; each time a yielded
+    event is processed the generator is resumed with the event's value
+    (or the event's exception is thrown into it).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the wrapped generator exits."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        # Jump the queue: deliver the interrupt before normal events.
+        interrupt_event.callbacks = [self._resume_interrupt]
+        self.env.schedule(interrupt_event, priority=0)
+
+    def _resume_interrupt(self, event: Event) -> None:
+        # The process may have ended between scheduling and delivery.
+        if self._value is not PENDING:
+            return
+        if self._target is not None and self.callbacks is not None:
+            # Unsubscribe from the event we were waiting for.
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, None)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = getattr(stop, "value", None)
+                self.env.schedule(self)
+                break
+            except BaseException as exc:  # noqa: BLE001 - failure propagates
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            if next_event is None:
+                # ``yield None`` means "yield control, resume immediately".
+                event = Event(self.env)
+                event.succeed()
+            elif isinstance(next_event, Event):
+                event = next_event
+            else:
+                raise RuntimeError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+
+            if event.callbacks is not None:
+                # Event still pending: wait for it.
+                event.callbacks.append(self._resume)
+                self._target = event
+                break
+            # Event already processed: loop and resume immediately with
+            # its value, without another trip through the queue.
+            if not event._ok and not event._defused:
+                event._defused = True
+
+        self.env._active_proc = None
+
+
+class ConditionValue:
+    """Ordered mapping of events to values for triggered conditions."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def keys(self) -> Iterable[Event]:
+        return list(self.events)
+
+    def values(self) -> Iterable[Any]:
+        return [event._value for event in self.events]
+
+    def items(self) -> Iterable:
+        return [(event, event._value) for event in self.events]
+
+    def todict(self) -> dict:
+        return {event: event._value for event in self.events}
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list, int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events from different environments")
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self._events and self._value is PENDING:
+            self.succeed(ConditionValue())
+
+    def _collect(self, value: ConditionValue) -> None:
+        for event in self._events:
+            if event.callbacks is None and event not in value.events:
+                value.events.append(event)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            # The condition already fired (e.g. a timeout won the
+            # race); a late failure of another member must not crash
+            # the simulation.
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            value = ConditionValue()
+            self._collect(value)
+            self.succeed(value)
+
+
+class AllOf(Condition):
+    """Triggered once every given event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda events, count: count >= len(events), events)
+
+
+class AnyOf(Condition):
+    """Triggered once any of the given events has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda events, count: count >= 1, events)

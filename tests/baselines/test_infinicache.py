@@ -1,0 +1,74 @@
+"""Unit tests for the InfiniCache-style configuration."""
+
+from repro.baselines import make_infinicache
+from repro.sim import Environment
+
+
+def drive(env, gen):
+    box = {}
+
+    def proc(env):
+        box["v"] = yield from gen
+
+    done = env.process(proc(env))
+    env.run(until=done)
+    return box["v"]
+
+
+def test_every_rpc_is_http():
+    env = Environment()
+    fs = make_infinicache(env)
+    fs.format()
+    fs.start()
+    client = fs.new_client()
+
+    def scenario(env):
+        yield from client.mkdirs("/d")
+        yield from client.create_file("/d/f")
+        for _ in range(10):
+            yield from client.stat("/d/f")
+
+    drive(env, scenario(env))
+    assert client.stats_tcp_rpcs == 0
+    assert client.stats_http_rpcs >= 12
+
+
+def test_fleet_is_static():
+    env = Environment()
+    fs = make_infinicache(env, deployments=4)
+    fs.format()
+    fs.start()
+    clients = [fs.new_client(fs.new_vm()) for _ in range(8)]
+
+    def hammer(env, client, index):
+        for serial in range(5):
+            yield from client.mkdirs(f"/d{index}_{serial}")
+
+    def run_all(env):
+        from repro.sim import AllOf
+
+        procs = [env.process(hammer(env, c, i)) for i, c in enumerate(clients)]
+        yield AllOf(env, procs)
+
+    drive(env, run_all(env))
+    for deployment in fs.platform.deployments.values():
+        assert len(deployment.all_instances) <= 1
+
+
+def test_latency_is_http_class():
+    env = Environment()
+    fs = make_infinicache(env)
+    fs.format()
+    fs.start()
+    client = fs.new_client()
+
+    def scenario(env):
+        yield from client.mkdirs("/d")
+        yield from client.create_file("/d/f")
+        for _ in range(20):
+            yield from client.stat("/d/f")
+
+    drive(env, scenario(env))
+    reads = [r.latency_ms for r in fs.metrics.records if r.op == "stat file/dir"]
+    # Invoke-per-op: every read pays the 8–20 ms HTTP path.
+    assert min(reads) > 7.0

@@ -1,0 +1,27 @@
+"""Unit tests for the table renderer."""
+
+from repro.bench.report import format_cell, tabulate
+
+
+def test_format_cell_floats():
+    assert format_cell(1234.5) == "1,234"
+    assert format_cell(12.345) == "12.35"
+    assert format_cell("text") == "text"
+    assert format_cell(7) == "7"
+
+
+def test_tabulate_alignment():
+    table = tabulate(["name", "value"], [["a", 1.0], ["long-name", 22.5]])
+    lines = table.split("\n")
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+    # Columns are aligned: every row has the separator at the same spot.
+    first_col_width = lines[1].split("  ")[0]
+    assert len(first_col_width) == len("long-name")
+
+
+def test_tabulate_empty_rows():
+    table = tabulate(["a", "b"], [])
+    assert "a" in table and "b" in table
+    assert len(table.split("\n")) == 2

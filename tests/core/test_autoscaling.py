@@ -1,0 +1,58 @@
+"""Unit tests for the Figure 6 auto-scaling model."""
+
+import pytest
+
+from repro.core.autoscaling import AutoScalingModel, concurrency_bound, desired_scale
+
+
+def test_desired_scale_formula():
+    # DesiredScale = NumDeployments + TcpHttpReplace% * alpha
+    assert desired_scale(10, 0.01, 1000) == 20
+
+
+def test_desired_scale_minimum_is_deployments():
+    assert desired_scale(5, 0.0, 100000) == 5
+
+
+def test_desired_scale_validation():
+    with pytest.raises(ValueError):
+        desired_scale(0, 0.01, 10)
+    with pytest.raises(ValueError):
+        desired_scale(5, 1.5, 10)
+    with pytest.raises(ValueError):
+        desired_scale(5, 0.01, -1)
+
+
+def test_concurrency_bound_takes_minimum():
+    # 512 cpu / 6.25 = 81.92; 960 ram / 30 = 32 -> RAM binds.
+    assert concurrency_bound(512, 6.25, 960, 30) == pytest.approx(32)
+
+
+def test_concurrency_bound_cpu_binds():
+    assert concurrency_bound(64, 8, 10_000, 1) == pytest.approx(8)
+
+
+def test_concurrency_bound_validation():
+    with pytest.raises(ValueError):
+        concurrency_bound(512, 0, 960, 30)
+
+
+def test_model_clips_at_resource_bound():
+    model = AutoScalingModel(
+        num_deployments=10,
+        replace_probability=0.01,
+        cluster_cpu=512,
+        per_namenode_cpu=6.25,
+        cluster_ram_gb=2_400,
+        per_namenode_ram_gb=30,
+    )
+    # Unbounded formula gives 10 + 0.01*1e5 = 1010; RAM bound is 80.
+    assert model.expected_namenodes(alpha=100_000) == pytest.approx(2_400 / 30)
+    # Low load: formula below the bound.
+    assert model.expected_namenodes(alpha=500) == pytest.approx(15)
+
+
+def test_replacement_probability_scales_fleet():
+    low = desired_scale(16, 0.001, 50_000)
+    high = desired_scale(16, 0.01, 50_000)
+    assert high > low

@@ -1,0 +1,96 @@
+"""Unit tests for block allocation and placement."""
+
+from repro.core.blocks import BlockManager, BlockPlacementConfig
+
+
+def test_allocate_unique_ids():
+    manager = BlockManager(BlockPlacementConfig(blocks_per_file=2))
+    a = manager.allocate()
+    b = manager.allocate()
+    assert len(a) == 2
+    assert set(a).isdisjoint(b)
+
+
+def test_place_respects_replication():
+    manager = BlockManager(BlockPlacementConfig(replication=3))
+    datanodes = [f"dn{i}" for i in range(6)]
+    replicas = manager.place(42, datanodes)
+    assert len(replicas) == 3
+    assert len(set(replicas)) == 3
+    assert set(replicas) <= set(datanodes)
+
+
+def test_place_with_fewer_datanodes_than_replication():
+    manager = BlockManager(BlockPlacementConfig(replication=3))
+    assert manager.place(1, ["dn0"]) == ["dn0"]
+    assert manager.place(1, []) == []
+
+
+def test_placement_is_deterministic():
+    manager = BlockManager()
+    datanodes = ["dn0", "dn1", "dn2", "dn3"]
+    assert manager.place(7, datanodes) == manager.place(7, datanodes)
+    # Order of the input list must not matter (rendezvous hashing).
+    assert manager.place(7, list(reversed(datanodes))) == manager.place(7, datanodes)
+
+
+def test_placement_spreads_blocks():
+    manager = BlockManager(BlockPlacementConfig(replication=1))
+    datanodes = [f"dn{i}" for i in range(4)]
+    primaries = {manager.place(block, datanodes)[0] for block in range(64)}
+    assert len(primaries) == 4  # every DataNode is someone's primary
+
+
+def test_placement_stable_under_datanode_loss():
+    """Rendezvous property: removing one DataNode only moves blocks
+    that lived on it."""
+    manager = BlockManager(BlockPlacementConfig(replication=1))
+    datanodes = [f"dn{i}" for i in range(5)]
+    before = {block: manager.place(block, datanodes)[0] for block in range(200)}
+    survivors = [dn for dn in datanodes if dn != "dn2"]
+    for block, owner in before.items():
+        after = manager.place(block, survivors)[0]
+        if owner != "dn2":
+            assert after == owner
+
+
+def test_locations_maps_all_blocks():
+    manager = BlockManager()
+    datanodes = ["dn0", "dn1", "dn2"]
+    table = manager.locations((10, 11), datanodes)
+    assert set(table) == {10, 11}
+    assert all(replicas for replicas in table.values())
+
+
+def test_reconcile_drops_dead_datanodes():
+    manager = BlockManager(BlockPlacementConfig(replication=2))
+    datanodes = ["dn0", "dn1", "dn2"]
+    reported = {"dn0": 64, "dn2": 64}  # dn1 stopped reporting
+    table = manager.reconcile((5,), reported, datanodes)
+    assert set(table[5]) <= {"dn0", "dn2"}
+
+
+def test_created_files_get_blocks():
+    from repro.core import LambdaFS
+    from repro.sim import Environment
+
+    env = Environment()
+    fs = LambdaFS(env)
+    fs.format()
+    fs.start()
+    client = fs.new_client()
+    box = {}
+
+    def main(env):
+        yield from client.mkdirs("/d")
+        yield from client.create_file("/d/f")
+        yield env.timeout(4_000)  # let DataNodes publish reports
+        box["r"] = yield from client.read_file("/d/f")
+
+    done = env.process(main(env))
+    env.run(until=done)
+    view = box["r"].value
+    assert view["inode"].block_ids
+    assert view["blocks"]
+    for replicas in view["blocks"].values():
+        assert 1 <= len(replicas) <= 3

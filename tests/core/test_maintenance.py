@@ -1,0 +1,44 @@
+"""Unit tests for serverless-compatible DFS maintenance."""
+
+from repro.core.maintenance import BlockReport, DataNodeConfig, DataNodeService
+from repro.metastore import NdbConfig, NdbStore
+from repro.sim import Environment
+
+
+def test_datanodes_publish_reports():
+    env = Environment()
+    store = NdbStore(env, NdbConfig(rtt_ms=0.0))
+    service = DataNodeService(env, store, DataNodeConfig(count=3,
+                                                         report_interval_ms=100.0))
+    service.start()
+    env.run(until=1_000)
+    assert service.reports_published >= 3 * 9
+    for datanode_id in service.datanode_ids:
+        report = store.peek(("datanode", datanode_id))
+        assert isinstance(report, BlockReport)
+        assert report.healthy
+
+
+def test_reports_refresh_over_time():
+    env = Environment()
+    store = NdbStore(env, NdbConfig(rtt_ms=0.0))
+    service = DataNodeService(env, store, DataNodeConfig(count=1,
+                                                         report_interval_ms=50.0))
+    service.start()
+    env.run(until=100)
+    first = store.peek(("datanode", "dn0")).published_at_ms
+    env.run(until=300)
+    second = store.peek(("datanode", "dn0")).published_at_ms
+    assert second > first
+
+
+def test_start_is_idempotent():
+    env = Environment()
+    store = NdbStore(env, NdbConfig(rtt_ms=0.0))
+    service = DataNodeService(env, store, DataNodeConfig(count=1,
+                                                         report_interval_ms=100.0))
+    service.start()
+    service.start()
+    env.run(until=250)
+    # One loop, not two: ~3 reports in 250 ms, not ~6.
+    assert service.reports_published <= 4

@@ -1,0 +1,47 @@
+"""Unit tests for namespace partitioning."""
+
+import pytest
+
+from repro.core.partitioning import NamespacePartitioner
+
+
+def test_same_directory_same_deployment():
+    part = NamespacePartitioner(8)
+    assert part.deployment_for("/dir/a.txt") == part.deployment_for("/dir/b.txt")
+
+
+def test_partitioning_is_deterministic():
+    assert (
+        NamespacePartitioner(8).deployment_for("/x/y")
+        == NamespacePartitioner(8).deployment_for("/x/y")
+    )
+
+
+def test_different_directories_spread():
+    part = NamespacePartitioner(16)
+    deployments = {part.deployment_for(f"/d{i}/file") for i in range(64)}
+    assert len(deployments) > 4  # hashing spreads directories around
+
+
+def test_root_handled():
+    part = NamespacePartitioner(4)
+    assert part.deployment_for("/") in part.deployment_names()
+    # Top-level entries hash on "/" and land together.
+    assert part.deployment_for("/a") == part.deployment_for("/b")
+
+
+def test_names_and_indices():
+    part = NamespacePartitioner(3, prefix="NN")
+    assert part.deployment_names() == ["NN0", "NN1", "NN2"]
+    index = part.index_for("/dir/file")
+    assert part.deployment_for("/dir/file") == f"NN{index}"
+
+
+def test_rejects_zero_deployments():
+    with pytest.raises(ValueError):
+        NamespacePartitioner(0)
+
+
+def test_normalized_paths_agree():
+    part = NamespacePartitioner(8)
+    assert part.deployment_for("/a//b/") == part.deployment_for("/a/b")

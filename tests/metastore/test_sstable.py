@@ -1,0 +1,178 @@
+"""Unit tests for the LevelDB-like SSTable store."""
+
+from repro.metastore import SSTableConfig, SSTableStore
+from repro.sim import Environment
+
+
+def run(env, *procs):
+    for proc in procs:
+        env.process(proc)
+    env.run()
+
+
+def small_config(**overrides):
+    defaults = dict(
+        io_threads=2,
+        write_service_ms=1.0,
+        read_service_ms=1.0,
+        per_run_penalty_ms=0.5,
+        flush_threshold=4,
+        max_runs=2,
+        flush_ms_per_1k_entries=1.0,
+        compact_ms_per_1k_entries=1.0,
+    )
+    defaults.update(overrides)
+    return SSTableConfig(**defaults)
+
+
+def test_put_get_roundtrip():
+    env = Environment()
+    store = SSTableStore(env, small_config())
+    got = []
+
+    def proc(env):
+        yield from store.put(("f", 1), "hello")
+        value = yield from store.get(("f", 1))
+        got.append(value)
+
+    run(env, proc(env))
+    assert got == ["hello"]
+
+
+def test_get_missing_returns_none():
+    env = Environment()
+    store = SSTableStore(env, small_config())
+    got = []
+
+    def proc(env):
+        value = yield from store.get(("missing",))
+        got.append(value)
+
+    run(env, proc(env))
+    assert got == [None]
+
+
+def test_delete_hides_value():
+    env = Environment()
+    store = SSTableStore(env, small_config())
+    got = []
+
+    def proc(env):
+        yield from store.put(("f", 1), "v")
+        yield from store.delete(("f", 1))
+        value = yield from store.get(("f", 1))
+        got.append(value)
+
+    run(env, proc(env))
+    assert got == [None]
+
+
+def test_flush_creates_run():
+    env = Environment()
+    store = SSTableStore(env, small_config(flush_threshold=3))
+
+    def proc(env):
+        for i in range(3):
+            yield from store.put(("f", i), i)
+        yield env.timeout(50)  # let the background flush finish
+
+    run(env, proc(env))
+    assert store.run_count == 1
+    assert store.stats.flushes == 1
+
+
+def test_value_found_in_run_after_flush():
+    env = Environment()
+    store = SSTableStore(env, small_config(flush_threshold=2))
+    got = []
+
+    def proc(env):
+        yield from store.put(("f", 0), "old")
+        yield from store.put(("f", 1), "x")
+        yield env.timeout(50)
+        value = yield from store.get(("f", 0))
+        got.append(value)
+
+    run(env, proc(env))
+    assert got == ["old"]
+    assert store.stats.runs_searched >= 1
+
+
+def test_memtable_shadows_runs():
+    env = Environment()
+    store = SSTableStore(env, small_config(flush_threshold=2))
+    got = []
+
+    def proc(env):
+        yield from store.put(("f", 0), "v1")
+        yield from store.put(("f", 1), "x")
+        yield env.timeout(50)
+        yield from store.put(("f", 0), "v2")
+        value = yield from store.get(("f", 0))
+        got.append(value)
+
+    run(env, proc(env))
+    assert got == ["v2"]
+
+
+def test_compaction_bounds_runs():
+    env = Environment()
+    store = SSTableStore(env, small_config(flush_threshold=2, max_runs=2))
+
+    def proc(env):
+        for i in range(12):
+            yield from store.put(("f", i), i)
+            yield env.timeout(20)
+
+    run(env, proc(env))
+    assert store.run_count <= 3
+    assert store.stats.compactions >= 1
+
+
+def test_compaction_preserves_data():
+    env = Environment()
+    store = SSTableStore(env, small_config(flush_threshold=2, max_runs=1))
+    got = []
+
+    def proc(env):
+        for i in range(8):
+            yield from store.put(("f", i), i * 10)
+            yield env.timeout(20)
+        for i in range(8):
+            value = yield from store.get(("f", i))
+            got.append(value)
+
+    run(env, proc(env))
+    assert got == [i * 10 for i in range(8)]
+
+
+def test_scan_prefix_merges_layers():
+    env = Environment()
+    store = SSTableStore(env, small_config(flush_threshold=2))
+    results = []
+
+    def proc(env):
+        yield from store.put(("d", 1, "a"), 1)
+        yield from store.put(("d", 1, "b"), 2)
+        yield env.timeout(50)
+        yield from store.put(("d", 1, "c"), 3)
+        yield from store.put(("d", 2, "z"), 9)
+        rows = yield from store.scan_prefix(("d", 1))
+        results.append(rows)
+
+    run(env, proc(env))
+    assert results[0] == {("d", 1, "a"): 1, ("d", 1, "b"): 2, ("d", 1, "c"): 3}
+
+
+def test_load_bulk_visible():
+    env = Environment()
+    store = SSTableStore(env, small_config())
+    store.load_bulk({("f", 1): "seed"})
+    got = []
+
+    def proc(env):
+        value = yield from store.get(("f", 1))
+        got.append(value)
+
+    run(env, proc(env))
+    assert got == ["seed"]

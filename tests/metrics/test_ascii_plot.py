@@ -1,0 +1,44 @@
+"""Unit tests for the terminal plotting helpers."""
+
+from repro.metrics.ascii_plot import bar_chart, line_plot, sparkline
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+
+
+def test_bar_chart_alignment_and_peak():
+    chart = bar_chart([("alpha", 100.0), ("b", 50.0)], width=10)
+    lines = chart.split("\n")
+    assert len(lines) == 2
+    assert lines[0].startswith("alpha")
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+
+
+def test_bar_chart_zero_and_empty():
+    assert bar_chart([]) == ""
+    chart = bar_chart([("x", 0.0)], width=10)
+    assert "█" not in chart
+
+
+def test_line_plot_contains_markers_and_legend():
+    plot = line_plot({
+        "lambda": [(0, 0), (10, 100)],
+        "hops": [(0, 50), (10, 50)],
+    }, width=20, height=6)
+    assert "l" in plot and "h" in plot
+    assert "l = lambda" in plot
+    assert "100" in plot  # y-axis max label
+
+
+def test_line_plot_empty():
+    assert line_plot({}) == ""

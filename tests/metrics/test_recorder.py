@@ -1,0 +1,82 @@
+"""Unit tests for metrics recording and statistics."""
+
+import pytest
+
+from repro.metrics import MetricsRecorder, latency_cdf, percentile
+
+
+def test_record_and_latency():
+    recorder = MetricsRecorder()
+    recorder.record("read file", 0.0, 2.0)
+    recorder.record("read file", 1.0, 5.0)
+    assert len(recorder) == 2
+    assert recorder.average_latency() == pytest.approx(3.0)
+    assert recorder.average_latency("read file") == pytest.approx(3.0)
+    assert recorder.average_latency("stat file/dir") == 0.0
+
+
+def test_throughput_timeline_bins():
+    recorder = MetricsRecorder()
+    for end in (100, 200, 900, 1_500):
+        recorder.record("read file", 0.0, float(end))
+    timeline = recorder.throughput_timeline(1_000.0)
+    assert timeline[0] == (0.0, 3.0)
+    assert timeline[1] == (1_000.0, 1.0)
+
+
+def test_average_and_peak_throughput():
+    recorder = MetricsRecorder()
+    for index in range(10):
+        recorder.record("read file", 0.0, 100.0 * (index + 1))
+    assert recorder.average_throughput(1_000.0) == pytest.approx(10.0)
+    assert recorder.peak_throughput(1_000.0) == pytest.approx(10.0)
+
+
+def test_empty_recorder():
+    recorder = MetricsRecorder()
+    assert recorder.throughput_timeline() == []
+    assert recorder.average_throughput() == 0.0
+    assert recorder.peak_throughput() == 0.0
+    assert recorder.cache_hit_ratio() == 0.0
+
+
+def test_cache_hit_ratio_and_breakdown():
+    recorder = MetricsRecorder()
+    recorder.record("read file", 0, 1, cache_hit=True)
+    recorder.record("read file", 0, 1, cache_hit=False)
+    recorder.record("ls file/dir", 0, 1, cache_hit=True)
+    assert recorder.cache_hit_ratio() == pytest.approx(2 / 3)
+    assert recorder.ops_breakdown() == {"read file": 2, "ls file/dir": 1}
+
+
+def test_read_only_latency_filter():
+    recorder = MetricsRecorder()
+    recorder.record("read file", 0, 1)
+    recorder.record("create file", 0, 100)
+    reads = recorder.latencies(read_only=True)
+    assert reads == [1]
+
+
+def test_percentile_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == pytest.approx(2.5)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_latency_cdf_monotone():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    cdf = latency_cdf(values, points=5)
+    xs = [x for x, _ in cdf]
+    ys = [y for _, y in cdf]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == 1.0
+    assert latency_cdf([]) == []

@@ -1,0 +1,122 @@
+"""Unit tests for the trie metadata cache."""
+
+import pytest
+
+from repro.namespace import INode, MetadataCache
+
+
+def make_inode(inode_id, name, is_dir=False, parent_id=1):
+    return INode(id=inode_id, parent_id=parent_id, name=name, is_dir=is_dir)
+
+
+def test_put_get_roundtrip():
+    cache = MetadataCache()
+    inode = make_inode(2, "a", is_dir=True)
+    cache.put("/a", inode)
+    assert cache.get("/a") == inode
+    assert len(cache) == 1
+
+
+def test_get_miss_counts():
+    cache = MetadataCache()
+    assert cache.get("/nothing") is None
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+
+def test_hit_ratio():
+    cache = MetadataCache()
+    cache.put("/a", make_inode(2, "a"))
+    cache.get("/a")
+    cache.get("/b")
+    assert cache.stats.hit_ratio == 0.5
+
+
+def test_get_path_prefix_partial():
+    cache = MetadataCache()
+    cache.put("/a", make_inode(2, "a", is_dir=True))
+    cache.put("/a/b", make_inode(3, "b", is_dir=True, parent_id=2))
+    found = cache.get_path_prefix("/a/b/c/d")
+    assert set(found) == {"/a", "/a/b"}
+
+
+def test_get_path_prefix_includes_root():
+    cache = MetadataCache()
+    cache.put("/", INode.root())
+    found = cache.get_path_prefix("/x")
+    assert set(found) == {"/"}
+
+
+def test_invalidate_single():
+    cache = MetadataCache()
+    cache.put("/a", make_inode(2, "a", is_dir=True))
+    cache.put("/a/b", make_inode(3, "b", parent_id=2))
+    assert cache.invalidate("/a") == 1
+    assert cache.get("/a") is None
+    assert cache.get("/a/b") is not None
+    assert len(cache) == 1
+
+
+def test_invalidate_missing_is_zero():
+    cache = MetadataCache()
+    assert cache.invalidate("/nope") == 0
+
+
+def test_invalidate_prefix_drops_subtree():
+    cache = MetadataCache()
+    cache.put("/foo", make_inode(2, "foo", is_dir=True))
+    cache.put("/foo/x", make_inode(3, "x", parent_id=2))
+    cache.put("/foo/y", make_inode(4, "y", parent_id=2))
+    cache.put("/bar", make_inode(5, "bar", is_dir=True))
+    removed = cache.invalidate_prefix("/foo")
+    assert removed == 3
+    assert len(cache) == 1
+    assert cache.get("/bar") is not None
+
+
+def test_invalidate_prefix_root_clears_all():
+    cache = MetadataCache()
+    cache.put("/a", make_inode(2, "a"))
+    cache.put("/b", make_inode(3, "b"))
+    assert cache.invalidate_prefix("/") == 2
+    assert len(cache) == 0
+
+
+def test_lru_eviction_at_capacity():
+    cache = MetadataCache(capacity=2)
+    cache.put("/a", make_inode(2, "a"))
+    cache.put("/b", make_inode(3, "b"))
+    cache.get("/a")  # /b becomes LRU
+    cache.put("/c", make_inode(4, "c"))
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert "/b" not in cache
+    assert "/a" in cache and "/c" in cache
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        MetadataCache(capacity=0)
+
+
+def test_paths_iteration():
+    cache = MetadataCache()
+    cache.put("/a", make_inode(2, "a", is_dir=True))
+    cache.put("/a/b", make_inode(3, "b", parent_id=2))
+    assert sorted(cache.paths()) == ["/a", "/a/b"]
+
+
+def test_clear():
+    cache = MetadataCache()
+    cache.put("/a", make_inode(2, "a"))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("/a") is None
+
+
+def test_put_refresh_does_not_grow():
+    cache = MetadataCache()
+    cache.put("/a", make_inode(2, "a"))
+    cache.put("/a", make_inode(2, "a").with_updates(size=10))
+    assert len(cache) == 1
+    assert cache.get("/a").size == 10

@@ -1,0 +1,63 @@
+"""Unit tests for path utilities."""
+
+import pytest
+
+from repro.namespace import paths
+
+
+def test_normalize_collapses_slashes():
+    assert paths.normalize("//a///b/") == "/a/b"
+
+
+def test_normalize_root():
+    assert paths.normalize("/") == "/"
+
+
+def test_normalize_rejects_relative():
+    with pytest.raises(ValueError):
+        paths.normalize("a/b")
+
+
+def test_normalize_rejects_dot_segments():
+    with pytest.raises(ValueError):
+        paths.normalize("/a/../b")
+    with pytest.raises(ValueError):
+        paths.normalize("/a/./b")
+
+
+def test_components():
+    assert paths.components("/a/b/c") == ["a", "b", "c"]
+    assert paths.components("/") == []
+
+
+def test_split():
+    assert paths.split("/a/b") == ("/a", "b")
+    assert paths.split("/a") == ("/", "a")
+
+
+def test_split_root_rejected():
+    with pytest.raises(ValueError):
+        paths.split("/")
+
+
+def test_parent_of():
+    assert paths.parent_of("/x/y/z") == "/x/y"
+
+
+def test_join():
+    assert paths.join("/", "a") == "/a"
+    assert paths.join("/a/b", "c") == "/a/b/c"
+
+
+def test_join_rejects_bad_name():
+    with pytest.raises(ValueError):
+        paths.join("/a", "b/c")
+    with pytest.raises(ValueError):
+        paths.join("/a", "")
+
+
+def test_is_descendant():
+    assert paths.is_descendant("/a/b/c", "/a/b")
+    assert paths.is_descendant("/a/b", "/a/b")
+    assert not paths.is_descendant("/a/bc", "/a/b")
+    assert paths.is_descendant("/anything", "/")

@@ -1,0 +1,89 @@
+"""Property-based tests: the trie cache behaves like a path→INode map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.namespace import INode, MetadataCache
+from repro.namespace.paths import is_descendant, normalize
+
+# Small component alphabet so operations collide often.
+component = st.sampled_from(["a", "b", "c", "d"])
+path_strategy = st.builds(
+    lambda parts: "/" + "/".join(parts),
+    st.lists(component, min_size=1, max_size=4),
+)
+
+operation = st.one_of(
+    st.tuples(st.just("put"), path_strategy, st.integers(2, 10_000)),
+    st.tuples(st.just("invalidate"), path_strategy, st.none()),
+    st.tuples(st.just("invalidate_prefix"), path_strategy, st.none()),
+)
+
+
+def make_inode(inode_id: int) -> INode:
+    return INode(id=inode_id, parent_id=1, name=f"n{inode_id}", is_dir=False)
+
+
+@settings(max_examples=200)
+@given(st.lists(operation, max_size=40))
+def test_cache_matches_dict_model(ops):
+    """With unbounded capacity, the trie equals a plain dict model."""
+    cache = MetadataCache(capacity=10_000)
+    model = {}
+    for kind, path, value in ops:
+        path = normalize(path)
+        if kind == "put":
+            inode = make_inode(value)
+            cache.put(path, inode)
+            model[path] = inode
+        elif kind == "invalidate":
+            removed = cache.invalidate(path)
+            assert removed == (1 if path in model else 0)
+            model.pop(path, None)
+        else:
+            removed = cache.invalidate_prefix(path)
+            victims = [p for p in model if is_descendant(p, path)]
+            assert removed == len(victims)
+            for victim in victims:
+                del model[victim]
+    assert len(cache) == len(model)
+    for path, inode in model.items():
+        assert cache.get(path) == inode
+    assert sorted(cache.paths()) == sorted(model)
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(path_strategy, st.integers(2, 1000)),
+                min_size=1, max_size=60),
+       st.integers(1, 8))
+def test_cache_never_exceeds_capacity(puts, capacity):
+    cache = MetadataCache(capacity=capacity)
+    for path, value in puts:
+        cache.put(path, make_inode(value))
+        assert len(cache) <= capacity
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(path_strategy, st.integers(2, 1000)),
+                min_size=1, max_size=30))
+def test_last_put_wins(puts):
+    cache = MetadataCache(capacity=10_000)
+    final = {}
+    for path, value in puts:
+        inode = make_inode(value)
+        cache.put(normalize(path), inode)
+        final[normalize(path)] = inode
+    for path, inode in final.items():
+        assert cache.get(path) == inode
+
+
+@settings(max_examples=100)
+@given(path_strategy, st.lists(st.tuples(path_strategy, st.integers(2, 999)),
+                               max_size=20))
+def test_prefix_invalidation_is_complete(prefix, puts):
+    cache = MetadataCache(capacity=10_000)
+    for path, value in puts:
+        cache.put(path, make_inode(value))
+    cache.invalidate_prefix(prefix)
+    for path in cache.paths():
+        assert not is_descendant(path, prefix)

@@ -1,0 +1,71 @@
+"""Property-based tests for path utilities and partitioning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import stable_hash
+from repro.core.partitioning import NamespacePartitioner
+from repro.namespace import paths
+
+component = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1, max_size=6,
+)
+abs_path = st.builds(
+    lambda parts: "/" + "/".join(parts),
+    st.lists(component, min_size=1, max_size=5),
+)
+
+
+@given(abs_path)
+def test_normalize_idempotent(path):
+    once = paths.normalize(path)
+    assert paths.normalize(once) == once
+
+
+@given(abs_path)
+def test_split_join_roundtrip(path):
+    normalized = paths.normalize(path)
+    parent, name = paths.split(normalized)
+    assert paths.join(parent, name) == normalized
+
+
+@given(abs_path)
+def test_components_rebuild(path):
+    normalized = paths.normalize(path)
+    parts = paths.components(normalized)
+    assert "/" + "/".join(parts) == normalized
+
+
+@given(abs_path, component)
+def test_child_is_descendant(path, name):
+    child = paths.join(paths.normalize(path), name)
+    assert paths.is_descendant(child, path)
+    assert not paths.is_descendant(path, child)
+
+
+@given(abs_path, abs_path)
+def test_descendant_antisymmetry(a, b):
+    a, b = paths.normalize(a), paths.normalize(b)
+    if a != b and paths.is_descendant(a, b):
+        assert not paths.is_descendant(b, a)
+
+
+@given(st.integers(1, 64), abs_path)
+def test_partitioner_index_in_range(n, path):
+    partitioner = NamespacePartitioner(n)
+    assert 0 <= partitioner.index_for(path) < n
+
+
+@given(st.integers(1, 64), abs_path, component, component)
+def test_siblings_colocated(n, parent, name_a, name_b):
+    partitioner = NamespacePartitioner(n)
+    a = paths.join(paths.normalize(parent), name_a)
+    b = paths.join(paths.normalize(parent), name_b)
+    assert partitioner.deployment_for(a) == partitioner.deployment_for(b)
+
+
+@given(st.text(min_size=0, max_size=30))
+def test_stable_hash_is_deterministic(value):
+    assert stable_hash(value) == stable_hash(value)
+    assert 0 <= stable_hash(value) < 2 ** 64

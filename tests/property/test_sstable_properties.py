@@ -1,0 +1,83 @@
+"""Property-based test: the SSTable store equals a dict model.
+
+Random put/delete/get programs must observe exactly what a plain
+dict would show, regardless of how flushes and compactions have
+arranged the data across the memtable and runs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metastore import SSTableConfig, SSTableStore
+from repro.sim import Environment
+
+operation = st.one_of(
+    st.tuples(st.just("put"), st.integers(0, 9), st.integers(0, 99)),
+    st.tuples(st.just("delete"), st.integers(0, 9), st.none()),
+    st.tuples(st.just("get"), st.integers(0, 9), st.none()),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(operation, max_size=40), st.integers(2, 6), st.integers(1, 3))
+def test_sstable_matches_dict_model(program, flush_threshold, max_runs):
+    env = Environment()
+    store = SSTableStore(env, SSTableConfig(
+        io_threads=2,
+        write_service_ms=0.1,
+        read_service_ms=0.1,
+        per_run_penalty_ms=0.05,
+        flush_threshold=flush_threshold,
+        max_runs=max_runs,
+        flush_ms_per_1k_entries=1.0,
+        compact_ms_per_1k_entries=1.0,
+    ))
+    model = {}
+    mismatches = []
+
+    def scenario(env):
+        for kind, key, value in program:
+            if kind == "put":
+                yield from store.put(("k", key), value)
+                model[("k", key)] = value
+            elif kind == "delete":
+                yield from store.delete(("k", key))
+                model.pop(("k", key), None)
+            else:
+                got = yield from store.get(("k", key))
+                expected = model.get(("k", key))
+                if got != expected:
+                    mismatches.append((key, got, expected))
+        # Let background flush/compaction settle, then re-verify all.
+        yield env.timeout(100)
+        for key in range(10):
+            got = yield from store.get(("k", key))
+            expected = model.get(("k", key))
+            if got != expected:
+                mismatches.append(("final", key, got, expected))
+
+    done = env.process(scenario(env))
+    env.run(until=done)
+    assert mismatches == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 99)),
+                min_size=1, max_size=60))
+def test_scan_prefix_matches_model(puts):
+    env = Environment()
+    store = SSTableStore(env, SSTableConfig(flush_threshold=5, max_runs=2))
+    model = {}
+    result = {}
+
+    def scenario(env):
+        for key, value in puts:
+            yield from store.put(("d", key % 3, key), value)
+            model[("d", key % 3, key)] = value
+        yield env.timeout(200)
+        result.update((yield from store.scan_prefix(("d", 0))))
+
+    done = env.process(scenario(env))
+    env.run(until=done)
+    expected = {k: v for k, v in model.items() if k[:2] == ("d", 0)}
+    assert result == expected

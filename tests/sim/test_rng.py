@@ -1,0 +1,38 @@
+"""Tests for named RNG streams."""
+
+from repro.sim import RngStreams
+
+
+def test_streams_are_memoized():
+    rngs = RngStreams(seed=1)
+    assert rngs.stream("a") is rngs.stream("a")
+    assert rngs("a") is rngs.stream("a")
+
+
+def test_streams_are_independent():
+    rngs = RngStreams(seed=1)
+    first = [rngs.stream("a").random() for _ in range(5)]
+    # Drawing from "b" must not perturb "a"'s future sequence.
+    fresh = RngStreams(seed=1)
+    fresh.stream("b").random()
+    second = [fresh.stream("a").random() for _ in range(5)]
+    assert first == second
+
+
+def test_same_seed_same_sequences():
+    a = RngStreams(seed=42)
+    b = RngStreams(seed=42)
+    assert [a.stream("x").random() for _ in range(3)] == [
+        b.stream("x").random() for _ in range(3)
+    ]
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1)
+    b = RngStreams(seed=2)
+    assert a.stream("x").random() != b.stream("x").random()
+
+
+def test_different_names_differ():
+    rngs = RngStreams(seed=1)
+    assert rngs.stream("x").random() != rngs.stream("y").random()

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "create_file" in out
+    assert "ok=True" in out
+    assert "active NameNodes" in out
+
+
+def test_experiments_command(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "fig11" in out
+    assert "table3" in out
+
+
+def test_table3_command(capsys):
+    assert main(["table3", "--sizes", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "HopsFS (ms)" in out
+    assert "64" in out
+
+
+def test_scaling_command(capsys):
+    assert main(["scaling", "--clients", "8", "--ops", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "lambda" in out
+    assert "cephfs" in out
+
+
+def test_spotify_defaults_parse():
+    args = build_parser().parse_args(["spotify"])
+    assert args.base == 3_000.0
+    assert args.clients == 128
+
+
+def test_replay_command(tmp_path, capsys):
+    trace = tmp_path / "ops.trace"
+    trace.write_text("0 mkdirs /t\n5 create /t/a\n9 stat /t/a\n")
+    from repro.cli import main as cli_main
+
+    assert cli_main(["replay", str(trace), "--clients", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "replayed 3 ops (3 ok, 0 failed)" in out

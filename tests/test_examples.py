@@ -1,0 +1,50 @@
+"""Smoke tests: the runnable examples actually run.
+
+Only the cheap ones execute here; the heavier scenario scripts
+(spotify_burst, elastic_scaling, fault_tolerance) are exercised by
+the benchmark suite's equivalent drivers.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "mkdirs  -> ok=True" in out
+    assert "block locations" in out
+    assert "pay-per-use cost so far" in out
+
+
+def test_indexfs_port_runs(capsys):
+    module = load_example("indexfs_port")
+    # Shrink the scenario so the smoke test stays fast.
+    module.CLIENTS = 8
+    from repro.workloads import TreeTestConfig
+
+    module.CONFIG = TreeTestConfig(writes_per_client=20, reads_per_client=20)
+    module.main()
+    out = capsys.readouterr().out
+    assert "write throughput" in out
+    assert "λIndexFS" in out
+
+
+def test_all_examples_importable():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        spec = importlib.util.spec_from_file_location(path.stem + "_import", path)
+        module = importlib.util.module_from_spec(spec)
+        # Import only (no main()) — catches syntax/import rot.
+        spec.loader.exec_module(module)
