@@ -18,6 +18,7 @@ QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 """Set REPRO_BENCH_QUICK=1 to shrink every experiment further."""
 
 
+from repro.bench.cache import disk_cached  # noqa: E402
 from repro.bench.report import tabulate  # noqa: E402  (shared renderer)
 
 
@@ -31,19 +32,9 @@ def report(name: str, title: str, table: str) -> None:
 
 def _disk_cached(name, compute):
     """Cache heavy suite results on disk so re-runs of dependent
-    figures (in fresh processes) skip the multi-minute recompute."""
-    import pickle
-
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f".cache_{name}.pkl"
-    if path.exists():
-        try:
-            return pickle.loads(path.read_bytes())
-        except Exception:
-            path.unlink()
-    value = compute()
-    path.write_bytes(pickle.dumps(value))
-    return value
+    figures (in fresh processes) skip the multi-minute recompute.
+    Honors REPRO_BENCH_CACHE_DIR (see :mod:`repro.bench.cache`)."""
+    return disk_cached(name, compute, RESULTS_DIR)
 
 
 @lru_cache(maxsize=None)

@@ -6,9 +6,12 @@ from _shared import QUICK, report, tabulate
 
 
 def test_fig15_fault_tolerance(benchmark):
-    kwargs = dict()
+    # trace=True: the fault-tolerance run doubles as the invariant
+    # battery's stress test — kills mid-INV-round must never let a
+    # write commit early or a stale cache entry be served.
+    kwargs = dict(trace=True)
     if QUICK:
-        kwargs = dict(duration_ms=20_000.0, clients=96, kill_interval_ms=5_000.0)
+        kwargs.update(duration_ms=20_000.0, clients=96, kill_interval_ms=5_000.0)
     runs = benchmark.pedantic(
         fig15_fault_tolerance, kwargs=kwargs, rounds=1, iterations=1
     )
@@ -30,3 +33,7 @@ def test_fig15_fault_tolerance(benchmark):
     # recovery): ≥90% of the failure-free average throughput.
     assert failures.avg_throughput > 0.9 * baseline.avg_throughput
     assert failures.completed == failures.issued
+    for run in (failures, baseline):
+        assert run.trace_report is not None
+        assert run.trace_report["violations"] == 0, \
+            run.trace_report["violation_detail"]

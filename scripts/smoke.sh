@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 smoke run: the unit/integration suite minus anything marked
+# slow or bench.  Target budget: under ~60 seconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest -x -q -m "not slow and not bench" "$@"

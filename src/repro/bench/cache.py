@@ -1,0 +1,56 @@
+"""Disk caching for heavy benchmark results.
+
+The Spotify suites take minutes; figures derived from them run in
+fresh pytest processes, so results are pickled to disk and reused.
+The cache directory defaults to ``benchmarks/results`` but can be
+redirected with the ``REPRO_BENCH_CACHE_DIR`` environment variable
+(useful for CI scratch space and for keeping checkouts clean).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+ENV_VAR = "REPRO_BENCH_CACHE_DIR"
+
+PathLike = Union[str, Path]
+
+
+def cache_dir(default: Optional[PathLike] = None) -> Path:
+    """The benchmark cache directory.
+
+    ``REPRO_BENCH_CACHE_DIR`` wins when set; otherwise ``default``
+    (typically the suite's ``benchmarks/results``), otherwise
+    ``benchmarks/results`` under the current working directory.
+    """
+    override = os.environ.get(ENV_VAR)
+    if override:
+        return Path(override)
+    if default is not None:
+        return Path(default)
+    return Path.cwd() / "benchmarks" / "results"
+
+
+def disk_cached(
+    name: str,
+    compute: Callable[[], Any],
+    directory: Optional[PathLike] = None,
+) -> Any:
+    """Return ``compute()``'s value, cached at ``.cache_<name>.pkl``.
+
+    A corrupt or unreadable cache file is discarded and recomputed.
+    """
+    base = cache_dir(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / f".cache_{name}.pkl"
+    if path.exists():
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:
+            path.unlink()
+    value = compute()
+    path.write_bytes(pickle.dumps(value))
+    return value

@@ -62,6 +62,8 @@ class SpotifyRun:
     latencies_by_op: Dict[str, List[float]] = field(default_factory=dict)
     issued: int = 0
     completed: int = 0
+    trace_report: Optional[dict] = None
+    """Tracer summary + invariant violations (``trace=True`` runs)."""
 
     def read_latency_cdf(self, op: str = "read file"):
         return latency_cdf(self.latencies_by_op.get(op, []))
@@ -138,6 +140,12 @@ def _spotify_driver(
     simplified = (
         fs.simplified_cost_usd() if hasattr(fs, "simplified_cost_usd") else None
     )
+    trace_report = None
+    if handle.tracer is not None:
+        trace_report = dict(handle.tracer.summary())
+        trace_report["violation_detail"] = [
+            str(v) for v in handle.tracer.violations()
+        ]
     return SpotifyRun(
         name=handle.name,
         throughput_timeline=metrics.throughput_timeline(1_000.0),
@@ -151,6 +159,7 @@ def _spotify_driver(
         latencies_by_op=latencies_by_op,
         issued=workload.issued,
         completed=workload.completed,
+        trace_report=trace_report,
     )
 
 
@@ -164,6 +173,7 @@ def fig8_spotify(
         "lambda", "hopsfs", "hopsfs_cache", "lambda_reduced", "cn_hopsfs_cache"
     ),
     kill_interval_ms: Optional[float] = None,
+    trace: bool = False,
 ) -> Dict[str, SpotifyRun]:
     """Figures 8(a)/8(b) (and 15 with ``kill_interval_ms``).
 
@@ -192,7 +202,7 @@ def fig8_spotify(
         if system == "lambda":
             handle = build_lambdafs(
                 env, tree, vcpus=vcpus, ndb=SPOTIFY_NDB, seed=seed,
-                faas_overrides=dict(spotify_faas),
+                faas_overrides=dict(spotify_faas), trace=trace,
             )
         elif system == "lambda_reduced":
             # §5.2.3: cache capacity under half the working set size.
@@ -221,7 +231,9 @@ def fig8_spotify(
                 name="CN HopsFS+Cache",
             )
         elif system == "infinicache":
-            handle = build_infinicache(env, tree, vcpus=vcpus, ndb=SPOTIFY_NDB, seed=seed)
+            handle = build_infinicache(
+                env, tree, vcpus=vcpus, ndb=SPOTIFY_NDB, seed=seed, trace=trace
+            )
         else:
             raise ValueError(f"unknown system {system!r}")
         run = _spotify_driver(
@@ -240,15 +252,17 @@ def fig15_fault_tolerance(
     clients: int = 192,
     kill_interval_ms: float = 5_000.0,
     seed: int = 8,
+    trace: bool = False,
 ) -> Dict[str, SpotifyRun]:
     """§5.6: the Spotify run with a NameNode killed periodically
     (paper: every 30 s of a 300 s run; here every 7.5 s of 45 s)."""
     with_failures = fig8_spotify(
         base_throughput, duration_ms, clients, seed=seed,
-        systems=("lambda",), kill_interval_ms=kill_interval_ms,
+        systems=("lambda",), kill_interval_ms=kill_interval_ms, trace=trace,
     )["lambda"]
     without = fig8_spotify(
         base_throughput, duration_ms, clients, seed=seed, systems=("lambda",),
+        trace=trace,
     )["lambda"]
     with_failures.name = "λFS+Failures"
     return {"failures": with_failures, "baseline": without}

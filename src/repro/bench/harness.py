@@ -19,6 +19,7 @@ from repro.metastore import NdbConfig
 from repro.metrics import MetricsRecorder
 from repro.namespace.treegen import GeneratedTree
 from repro.sim import Environment
+from repro.trace import install_tracer
 from repro.workloads import MicroBenchmark
 
 
@@ -35,6 +36,17 @@ class SystemHandle:
     active_servers: Callable[[], int]
     system: object = None
     prewarm: Optional[Callable[[], Generator]] = None
+    tracer: Optional[object] = None
+    """The :class:`repro.trace.Tracer` when built with ``trace=True``."""
+
+
+def _maybe_trace(env: Environment, trace: bool):
+    """Install the tracing + invariant battery once per environment."""
+    if not trace:
+        return env.tracer
+    if env.tracer is None:
+        return install_tracer(env)
+    return env.tracer
 
 
 def drive(env: Environment, generator: Generator):
@@ -81,7 +93,9 @@ def build_lambdafs(
     client_overrides: Optional[dict] = None,
     namenode_overrides: Optional[dict] = None,
     name: str = "λFS",
+    trace: bool = False,
 ) -> SystemHandle:
+    tracer = _maybe_trace(env, trace)
     config = _lambda_config(
         vcpus, deployments, seed, ndb,
         faas_overrides or {}, client_overrides or {}, namenode_overrides or {},
@@ -115,6 +129,7 @@ def build_lambdafs(
         active_servers=fs.active_namenodes,
         system=fs,
         prewarm=lambda: fs.prewarm(1),
+        tracer=tracer,
     )
 
 
@@ -125,7 +140,9 @@ def build_infinicache(
     deployments: int = 16,
     seed: int = 0,
     ndb: Optional[NdbConfig] = None,
+    trace: bool = False,
 ) -> SystemHandle:
+    tracer = _maybe_trace(env, trace)
     # A static fleet is sized to its resources up front: one function
     # per deployment, as many deployments as the vCPU budget fits.
     per_instance = FaaSConfig().vcpus_per_instance
@@ -158,6 +175,7 @@ def build_infinicache(
         active_servers=fs.active_namenodes,
         system=fs,
         prewarm=lambda: fs.prewarm(1),
+        tracer=tracer,
     )
 
 

@@ -20,11 +20,26 @@ from typing import List, Optional
 from repro.bench.report import tabulate
 
 
-def _cmd_demo(_args) -> int:
+def _print_trace_summary(tracer) -> None:
+    summary = tracer.summary()
+    print(f"\ntrace: {summary['spans']} spans ({summary['points']} points), "
+          f"{summary['events_hashed']} events hashed, "
+          f"event hash {summary['event_hash']}, "
+          f"{summary['violations']} invariant violation(s)")
+    for violation in tracer.violations():
+        print(f"  {violation}")
+
+
+def _cmd_demo(args) -> int:
     from repro.core import LambdaFS
     from repro.sim import Environment
 
     env = Environment()
+    tracer = None
+    if args.trace:
+        from repro.trace import install_tracer
+
+        tracer = install_tracer(env)
     fs = LambdaFS(env)
     fs.format()
     fs.start()
@@ -46,6 +61,8 @@ def _cmd_demo(_args) -> int:
     print(f"\nactive NameNodes: {fs.active_namenodes()}  "
           f"avg latency: {fs.metrics.average_latency():.2f} ms  "
           f"cost: ${fs.cost_usd():.6f}")
+    if tracer is not None:
+        _print_trace_summary(tracer)
     return 0
 
 
@@ -58,6 +75,7 @@ def _cmd_spotify(args) -> int:
         duration_ms=args.duration * 1000.0,
         clients=args.clients,
         systems=("lambda", "hopsfs"),
+        trace=args.trace,
     )
     rows = [
         [run.name, run.avg_throughput, run.peak_throughput,
@@ -72,6 +90,13 @@ def _cmd_spotify(args) -> int:
         "λFS": runs["lambda"].throughput_timeline,
         "HopsFS": runs["hopsfs"].throughput_timeline,
     }))
+    report = runs["lambda"].trace_report
+    if report is not None:
+        print(f"\ntrace: {report['spans']} spans, "
+              f"event hash {report['event_hash']}, "
+              f"{report['violations']} invariant violation(s)")
+        for line in report["violation_detail"]:
+            print(f"  {line}")
     return 0
 
 
@@ -119,6 +144,11 @@ def _cmd_replay(args) -> int:
     with open(args.trace) as handle:
         records = load_trace(handle)
     env = Environment()
+    tracer = None
+    if args.trace_spans:
+        from repro.trace import install_tracer
+
+        tracer = install_tracer(env)
     fs = LambdaFS(env)
     fs.format()
     fs.start()
@@ -140,6 +170,8 @@ def _cmd_replay(args) -> int:
     print(f"avg latency {fs.metrics.average_latency():.2f} ms, "
           f"cost ${fs.cost_usd():.6f}, "
           f"NameNodes {fs.active_namenodes()}")
+    if tracer is not None:
+        _print_trace_summary(tracer)
     return 0
 
 
@@ -169,7 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("demo", help="run the quickstart scenario")
+    trace_help = "enable causal tracing + invariant checking"
+    demo = sub.add_parser("demo", help="run the quickstart scenario")
+    demo.add_argument("--trace", action="store_true", help=trace_help)
 
     spotify = sub.add_parser("spotify", help="mini Figure 8(a) run")
     spotify.add_argument("--base", type=float, default=3_000.0,
@@ -177,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     spotify.add_argument("--duration", type=float, default=20.0,
                          help="workload duration (seconds)")
     spotify.add_argument("--clients", type=int, default=128)
+    spotify.add_argument("--trace", action="store_true", help=trace_help)
 
     scaling = sub.add_parser("scaling", help="one client-scaling point")
     scaling.add_argument("--clients", type=int, default=64)
@@ -189,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="replay an audit-log trace")
     replay.add_argument("trace", help="trace file: '<ms> <op> <path> [dst]'")
     replay.add_argument("--clients", type=int, default=8)
+    replay.add_argument("--trace-spans", action="store_true", help=trace_help)
 
     sub.add_parser("experiments", help="list experiment drivers")
     return parser

@@ -124,11 +124,15 @@ class Coordinator:
         paths: Iterable[str] = (),
         prefix: Optional[str] = None,
         exclude: Iterable[str] = (),
+        initiator: str = "",
+        trace_parent=None,
     ) -> Generator:
         """Send an INV to every live member and wait for all ACKs.
 
         ``exclude`` names members (typically the leader itself) that
-        invalidate locally and need no message.  Returns the number of
+        invalidate locally and need no message.  ``initiator`` tags the
+        round with the writing NameNode's id so the coherence checker
+        can pair it with that writer's commit.  Returns the number of
         members that were contacted.
         """
         inv = Invalidation(
@@ -143,18 +147,31 @@ class Coordinator:
             for member_id, handler in self._members.get(deployment, {}).items()
             if member_id not in excluded
         }
+        tracer = self.env.tracer
+        round_span = None
+        if tracer is not None:
+            round_span = tracer.begin(
+                "coord.inv", initiator or "coordinator", parent=trace_parent,
+                inv_id=inv.inv_id, deployment=deployment, paths=inv.paths,
+                prefix=prefix, initiator=initiator, members=len(targets),
+            )
         pending = _PendingInv(self.env, set(targets))
         self._pending[inv.inv_id] = pending
         for member_id, handler in targets.items():
             self.invs_sent += 1
-            self.env.process(self._deliver(inv, member_id, handler))
+            self.env.process(self._deliver(inv, member_id, handler, round_span))
         yield pending.event
         self._pending.pop(inv.inv_id, None)
+        if tracer is not None:
+            tracer.end(round_span)
         return len(targets)
 
     def ack(self, inv_id: int, member_id: str) -> None:
         """Record one member's ACK for ``inv_id``."""
         self.acks_received += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.point("coord.ack", member_id, inv_id=inv_id)
         pending = self._pending.get(inv_id)
         if pending is None:
             return
@@ -167,6 +184,7 @@ class Coordinator:
         inv: Invalidation,
         member_id: str,
         handler: Callable[[Invalidation], None],
+        round_span=None,
     ) -> Generator:
         yield self.env.timeout(self.config.publish_ms)
         # The member may have died in flight; deregistration already
@@ -174,6 +192,16 @@ class Coordinator:
         live = self._members.get(inv.deployment, {})
         if member_id not in live:
             return
+        tracer = self.env.tracer
+        if tracer is not None:
+            # From this instant, any cached copy of these paths on the
+            # member is stale by protocol — emitted *before* the
+            # handler runs so a broken handler cannot hide staleness
+            # from the coherence checker.
+            tracer.point(
+                "coord.inv_deliver", member_id, parent=round_span,
+                inv_id=inv.inv_id, paths=inv.paths, prefix=inv.prefix,
+            )
         handler(inv)
         yield self.env.timeout(self.config.ack_ms)
         self.ack(inv.inv_id, member_id)

@@ -122,7 +122,23 @@ class LambdaFSClient:
             payload=payload,
         )
         deployment = self.fs.partitioner.deployment_for(path)
-        response, via, cache_hit = yield from self._submit(request, deployment)
+        tracer = env.tracer
+        op_span = None
+        if tracer is not None:
+            op_span = tracer.begin(
+                "client.op", self.id, op=op.value, path=path,
+                request_id=request.request_id,
+            )
+        try:
+            response, via, cache_hit = yield from self._submit(
+                request, deployment, op_span
+            )
+        except BaseException:
+            if tracer is not None:
+                tracer.end(op_span, ok=False)
+            raise
+        if tracer is not None:
+            tracer.end(op_span, ok=response.ok, via=via, cache_hit=cache_hit)
         latency = env.now - start
         self._observe(latency)
         self.fs.metrics.record(
@@ -133,9 +149,10 @@ class LambdaFSClient:
 
     # -- submission ------------------------------------------------------
     def _submit(
-        self, request: MetadataRequest, deployment: str
+        self, request: MetadataRequest, deployment: str, op_span=None
     ) -> Generator:
         env = self.fs.env
+        tracer = env.tracer
         attempt = 0
         while True:
             attempt += 1
@@ -145,16 +162,31 @@ class LambdaFSClient:
                 self._antithrash_active()
                 or self._rng.random() >= self.config.replacement_probability
             )
+            rpc_span = None
+            if tracer is not None:
+                rpc_span = tracer.begin(
+                    "rpc.tcp" if use_tcp else "rpc.http", self.id,
+                    parent=op_span, attempt=attempt, deployment=deployment,
+                )
+                request.trace_parent = rpc_span.span_id
             try:
                 if use_tcp:
                     self.stats_tcp_rpcs += 1
                     response = yield from self._tcp_call(connection, request)
-                    return response, "tcp", response.cache_hit
-                self.stats_http_rpcs += 1
-                response = yield from self._http_call(request, deployment)
-                return response, "http", response.cache_hit
-            except (ConnectionDropped, InstanceTerminated, RequestTimeout):
+                else:
+                    self.stats_http_rpcs += 1
+                    response = yield from self._http_call(request, deployment)
+                if tracer is not None:
+                    tracer.end(rpc_span, ok=response.ok)
+                return response, "tcp" if use_tcp else "http", response.cache_hit
+            except (ConnectionDropped, InstanceTerminated, RequestTimeout) as exc:
                 self.stats_retries += 1
+                if tracer is not None:
+                    tracer.end(rpc_span, ok=False, error=type(exc).__name__)
+                    tracer.point(
+                        "rpc.retry", self.id, parent=op_span,
+                        attempt=attempt, error=type(exc).__name__,
+                    )
                 if attempt >= self.config.max_attempts:
                     raise
                 if not use_tcp:

@@ -58,6 +58,10 @@ class MetadataRequest:
     tcp_servers: Tuple = ()
     attempt: int = 1
     payload: Any = None
+    trace_parent: Optional[int] = None
+    """Span id of the client-side RPC attempt (set only while a
+    :class:`repro.trace.Tracer` is installed), so server-side spans
+    attach to the issuing operation's causal tree."""
 
 
 @dataclass

@@ -85,20 +85,33 @@ class LambdaNameNode:
     def handle(self, request: MetadataRequest, via: str) -> Generator:
         """Serve one metadata RPC; returns a :class:`MetadataResponse`."""
         env = self.fs.env
+        tracer = env.tracer
         self._purge_result_cache()
         cached = self._result_cache.get(request.request_id)
         if cached is not None:
+            if tracer is not None:
+                tracer.point(
+                    "nn.result_cache", self.member_id,
+                    parent=request.trace_parent,
+                    request_id=request.request_id,
+                )
             yield from self.instance.compute(self.config.cpu_ms_per_op / 2)
             return cached[1]
 
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "nn.handle", self.member_id, parent=request.trace_parent,
+                op=request.op.value, path=request.path, via=via,
+            )
         yield from self.instance.compute(self.config.cpu_ms_per_op)
         try:
             if request.op is OpType.EXEC_BATCH:
-                value, hit = (yield from self._exec_batch(request)), False
+                value, hit = (yield from self._exec_batch(request, span)), False
             elif request.op.is_write:
-                value, hit = yield from self._handle_write(request)
+                value, hit = yield from self._handle_write(request, span)
             else:
-                value, hit = yield from self._handle_read(request)
+                value, hit = yield from self._handle_read(request, span)
             response = MetadataResponse(
                 request_id=request.request_id, ok=True, value=value,
                 served_by=self.member_id, cache_hit=hit,
@@ -112,6 +125,8 @@ class LambdaNameNode:
                 request_id=request.request_id, ok=False,
                 error=f"{type(exc).__name__}: {exc}", served_by=self.member_id,
             )
+        if tracer is not None:
+            tracer.end(span, ok=response.ok, cache_hit=response.cache_hit)
         self._result_cache[request.request_id] = (env.now, response)
         if via == "http":
             self._connect_back(request)
@@ -132,12 +147,16 @@ class LambdaNameNode:
                 return False
         return True
 
-    def _handle_read(self, request: MetadataRequest) -> Generator:
+    def _handle_read(self, request: MetadataRequest, span=None) -> Generator:
+        tracer = self.fs.env.tracer
         path = normalize(request.path)
         known = self.cache.get_path_prefix(path)
         if request.op is OpType.LS:
-            return (yield from self._handle_ls(path, known))
+            return (yield from self._handle_ls(path, known, span))
         if self._full_chain(path, known):
+            if tracer is not None:
+                tracer.point("nn.cache_hit", self.member_id, parent=span,
+                             path=path)
             inode = known[path]
             self.fs.ops.check_traversal(path, known)
             self.fs.ops.check_readable(path, inode)
@@ -145,12 +164,16 @@ class LambdaNameNode:
                 yield from self._maybe_refresh_datanodes()
                 return self._file_view(inode), True
             return inode, True
+        if tracer is not None:
+            tracer.point("nn.cache_miss", self.member_id, parent=span,
+                         path=path)
         yield from self.instance.compute(self.config.cpu_ms_store_fetch)
         resolved = yield from self.fs.store.run_transaction(
             lambda txn: self.fs.ops.resolve(txn, path, known),
             retries=self.config.txn_retries,
+            label="resolve", trace_parent=span,
         )
-        self._cache_resolved(resolved)
+        self._cache_resolved(resolved, span)
         inode = resolved[path]
         self.fs.ops.check_traversal(path, resolved)
         self.fs.ops.check_readable(path, inode)
@@ -159,21 +182,29 @@ class LambdaNameNode:
             return self._file_view(inode), False
         return inode, False
 
-    def _handle_ls(self, path: str, known: Dict[str, INode]) -> Generator:
+    def _handle_ls(self, path: str, known: Dict[str, INode], span=None) -> Generator:
+        tracer = self.fs.env.tracer
         listing = self._listing_cache.get(path)
         if listing is not None and self._full_chain(path, known):
+            if tracer is not None:
+                tracer.point("nn.cache_hit", self.member_id, parent=span,
+                             path=path, listing=True)
             self.fs.ops.check_traversal(path, known)
             self.fs.ops.check_readable(path, known[path])
             return list(listing), True
+        if tracer is not None:
+            tracer.point("nn.cache_miss", self.member_id, parent=span,
+                         path=path, listing=True)
         yield from self.instance.compute(self.config.cpu_ms_store_fetch)
 
         def body(txn):
             return self.fs.ops.ls(txn, path, known)
 
         resolved, names = yield from self.fs.store.run_transaction(
-            body, retries=self.config.txn_retries
+            body, retries=self.config.txn_retries,
+            label="ls", trace_parent=span,
         )
-        self._cache_resolved(resolved)
+        self._cache_resolved(resolved, span)
         if resolved[path].is_dir:
             self._listing_cache[path] = list(names)
         return names, False
@@ -207,17 +238,19 @@ class LambdaNameNode:
         self._datanode_view = sorted(key[-1] for key in rows)
 
     # -- writes ---------------------------------------------------------------
-    def _handle_write(self, request: MetadataRequest) -> Generator:
+    def _handle_write(self, request: MetadataRequest, span=None) -> Generator:
         yield from self.instance.compute(self.config.cpu_ms_write)
-        if request.op.is_subtree_capable and (yield from self._needs_subtree(request)):
-            value = yield from self.fs.subtree.execute(self, request)
+        if request.op.is_subtree_capable and (
+            yield from self._needs_subtree(request, span)
+        ):
+            value = yield from self.fs.subtree.execute(self, request, span)
             return value, False
 
         env = self.fs.env
         ops = self.fs.ops
         attempt = 0
         while True:
-            txn = self.fs.store.begin(label=request.op.value)
+            txn = self.fs.store.begin(label=request.op.value, trace_parent=span)
             try:
                 path = normalize(request.path)
                 known = self.cache.get_path_prefix(path)
@@ -273,8 +306,15 @@ class LambdaNameNode:
                 # Algorithm 1: INVs go out (and all ACKs return) while
                 # the rows are exclusively locked, *before* persisting.
                 yield from self.run_coherence(
-                    affected, broadcast=locals().get("broadcast", False)
+                    affected, broadcast=locals().get("broadcast", False),
+                    trace_parent=span,
                 )
+                tracer = env.tracer
+                if tracer is not None:
+                    tracer.point(
+                        "nn.commit", self.member_id, parent=span,
+                        paths=tuple(affected), op=request.op.value,
+                    )
                 yield from txn.commit()
                 break
             except TransactionAborted:
@@ -290,7 +330,7 @@ class LambdaNameNode:
         self._apply_local(new_entries, removed, resolved)
         return value, False
 
-    def _needs_subtree(self, request: MetadataRequest) -> Generator:
+    def _needs_subtree(self, request: MetadataRequest, span=None) -> Generator:
         """True when MV/DELETE targets a directory (subtree protocol)."""
         if request.op is OpType.DELETE and not request.recursive:
             return False
@@ -300,15 +340,19 @@ class LambdaNameNode:
             return known[path].is_dir
         try:
             resolved = yield from self.fs.store.run_transaction(
-                lambda txn: self.fs.ops.resolve(txn, path, known)
+                lambda txn: self.fs.ops.resolve(txn, path, known),
+                label="resolve", trace_parent=span,
             )
         except FsError:
             return False
-        self._cache_resolved(resolved)
+        self._cache_resolved(resolved, span)
         return resolved[path].is_dir
 
     def run_coherence(
-        self, affected_paths: List[str], broadcast: bool = False
+        self,
+        affected_paths: List[str],
+        broadcast: bool = False,
+        trace_parent=None,
     ) -> Generator:
         """Send INVs for ``affected_paths`` and await every ACK.
 
@@ -329,19 +373,27 @@ class LambdaNameNode:
         for deployment, paths in by_deployment.items():
             exclude = [self.member_id] if deployment == self.deployment_name else []
             waits.append(env.process(
-                self.fs.coordinator.invalidate(deployment, paths=paths, exclude=exclude)
+                self.fs.coordinator.invalidate(
+                    deployment, paths=paths, exclude=exclude,
+                    initiator=self.member_id, trace_parent=trace_parent,
+                )
             ))
         if waits:
             yield AllOf(env, waits)
 
-    def run_subtree_coherence(self, prefix: str, deployments: List[str]) -> Generator:
+    def run_subtree_coherence(
+        self, prefix: str, deployments: List[str], trace_parent=None
+    ) -> Generator:
         """One prefix INV per deployment caching subtree metadata."""
         env = self.fs.env
         waits = []
         for deployment in deployments:
             exclude = [self.member_id] if deployment == self.deployment_name else []
             waits.append(env.process(
-                self.fs.coordinator.invalidate(deployment, prefix=prefix, exclude=exclude)
+                self.fs.coordinator.invalidate(
+                    deployment, prefix=prefix, exclude=exclude,
+                    initiator=self.member_id, trace_parent=trace_parent,
+                )
             ))
         if waits:
             yield AllOf(env, waits)
@@ -355,20 +407,27 @@ class LambdaNameNode:
         resolved: Dict[str, INode],
     ) -> None:
         """Refresh the leader's own cache after a committed write."""
+        tracer = self.fs.env.tracer
         gone = set(removed)
         for path in removed:
             self.cache.invalidate(path)
+            if tracer is not None:
+                tracer.point("nn.cache_invalidate", self.member_id, path=path)
             self._listing_cache.pop(path, None)
             self._drop_listing_of_parent(path)
         for path, inode in resolved.items():
             if path not in gone:
                 self.cache.put(path, inode)
+                if tracer is not None:
+                    tracer.point("nn.cache_put", self.member_id, path=path)
         for path, inode in new_entries.items():
             self.cache.put(path, inode)
+            if tracer is not None:
+                tracer.point("nn.cache_put", self.member_id, path=path)
             self._drop_listing_of_parent(path)
 
     # -- subtree batch execution (helper role) ---------------------------------
-    def _exec_batch(self, request: MetadataRequest) -> Generator:
+    def _exec_batch(self, request: MetadataRequest, span=None) -> Generator:
         """Execute offloaded sub-operations (Appendix D phase 3)."""
         actions = request.payload or []
         yield from self.instance.compute(0.2 + 0.05 * len(actions))
@@ -387,7 +446,11 @@ class LambdaNameNode:
                         yield from txn.write(inode_key(target_id), inode)
             return len(actions)
 
-        return (yield from self.fs.store.run_transaction(body))
+        return (
+            yield from self.fs.store.run_transaction(
+                body, label="exec batch", trace_parent=span
+            )
+        )
 
     # -- invalidation handling (follower role) -----------------------------------
     def _on_invalidation(self, inv: Invalidation) -> None:
@@ -400,6 +463,12 @@ class LambdaNameNode:
             self._drop_listing_of_parent(path)
 
     def _invalidate_prefix_local(self, prefix: str) -> None:
+        tracer = self.fs.env.tracer
+        if tracer is not None:
+            tracer.point(
+                "nn.cache_invalidate", self.member_id,
+                path=prefix, prefix=prefix,
+            )
         self.cache.invalidate_prefix(prefix)
         for cached_path in list(self._listing_cache):
             if is_descendant(cached_path, prefix):
@@ -411,9 +480,13 @@ class LambdaNameNode:
             self._listing_cache.pop(parent_of(path), None)
 
     # -- misc ----------------------------------------------------------------------
-    def _cache_resolved(self, resolved: Dict[str, INode]) -> None:
+    def _cache_resolved(self, resolved: Dict[str, INode], span=None) -> None:
+        tracer = self.fs.env.tracer
         for path, inode in resolved.items():
             self.cache.put(path, inode)
+            if tracer is not None:
+                tracer.point("nn.cache_put", self.member_id, parent=span,
+                             path=path)
 
     def _connect_back(self, request: MetadataRequest) -> None:
         """Proactively open TCP connections to the client's servers."""

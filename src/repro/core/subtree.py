@@ -47,16 +47,21 @@ class SubtreeProtocol:
         self.fs = fs
         self.config = config or SubtreeConfig()
 
-    def execute(self, leader: "LambdaNameNode", request: MetadataRequest) -> Generator:
+    def execute(
+        self,
+        leader: "LambdaNameNode",
+        request: MetadataRequest,
+        span=None,
+    ) -> Generator:
         root_path = normalize(request.path)
-        root = yield from self._acquire_subtree_flag(root_path)
+        root = yield from self._acquire_subtree_flag(root_path, span)
         try:
-            collected = yield from self._quiesce(root_path)
+            collected = yield from self._quiesce(root_path, span)
             deployments = sorted({
                 self.fs.partitioner.deployment_for(path) for path, _ in collected
             } | {self.fs.partitioner.deployment_for(parent_of(root_path))})
             # λFS: one prefix INV per deployment, not one per INode.
-            yield from leader.run_subtree_coherence(root_path, deployments)
+            yield from leader.run_subtree_coherence(root_path, deployments, span)
             descendants = [(p, i) for p, i in collected if p != root_path]
             if request.op is OpType.DELETE:
                 actions = [
@@ -65,14 +70,21 @@ class SubtreeProtocol:
                 ]
             else:
                 actions = [("touch_inode", inode.id) for path, inode in descendants]
-            yield from self._run_batches(leader, actions)
-            value = yield from self._apply_root(request, root_path, root)
+            yield from self._run_batches(leader, actions, span)
+            tracer = self.fs.env.tracer
+            if tracer is not None:
+                tracer.point(
+                    "nn.commit", leader.member_id, parent=span,
+                    paths=(root_path, parent_of(root_path)),
+                    op=request.op.value, subtree=True,
+                )
+            value = yield from self._apply_root(request, root_path, root, span)
             return value
         finally:
-            yield from self._release_subtree_flag(root)
+            yield from self._release_subtree_flag(root, span)
 
     # -- phases ------------------------------------------------------------
-    def _acquire_subtree_flag(self, root_path: str) -> Generator:
+    def _acquire_subtree_flag(self, root_path: str, span=None) -> Generator:
         """Phase 1: resolve the root and set its subtree-lock flag."""
 
         def body(txn):
@@ -86,17 +98,27 @@ class SubtreeProtocol:
             yield from txn.write(("st_lock", root.id), True)
             return root
 
-        return (yield from self.fs.store.run_transaction(body))
+        return (
+            yield from self.fs.store.run_transaction(
+                body, label="subtree flag", trace_parent=span
+            )
+        )
 
-    def _quiesce(self, root_path: str) -> Generator:
+    def _quiesce(self, root_path: str, span=None) -> Generator:
         """Phase 2: lock-walk the whole subtree, then release."""
 
         def body(txn):
             return self.fs.ops.collect_subtree(txn, root_path)
 
-        return (yield from self.fs.store.run_transaction(body))
+        return (
+            yield from self.fs.store.run_transaction(
+                body, label="subtree quiesce", trace_parent=span
+            )
+        )
 
-    def _run_batches(self, leader: "LambdaNameNode", actions: List[Tuple]) -> Generator:
+    def _run_batches(
+        self, leader: "LambdaNameNode", actions: List[Tuple], span=None
+    ) -> Generator:
         """Phase 3: execute sub-operations in parallel batches.
 
         The leader handles the first batch locally; the rest are
@@ -112,7 +134,7 @@ class SubtreeProtocol:
         local_request = MetadataRequest(
             op=OpType.EXEC_BATCH, path="/", payload=batches[0]
         )
-        jobs = [env.process(leader._exec_batch(local_request))]
+        jobs = [env.process(leader._exec_batch(local_request, span))]
 
         if self.config.offload_enabled and len(batches) > 1:
             helpers = [
@@ -133,7 +155,7 @@ class SubtreeProtocol:
                 batch_request = MetadataRequest(
                     op=OpType.EXEC_BATCH, path="/", payload=batch
                 )
-                jobs.append(env.process(leader._exec_batch(batch_request)))
+                jobs.append(env.process(leader._exec_batch(batch_request, span)))
         yield AllOf(env, jobs)
 
     def _offload(self, deployment: str, request: MetadataRequest) -> Generator:
@@ -144,7 +166,9 @@ class SubtreeProtocol:
             raise FsError(f"offloaded batch failed: {response.error}")
         return response.value
 
-    def _apply_root(self, request: MetadataRequest, root_path: str, root: INode) -> Generator:
+    def _apply_root(
+        self, request: MetadataRequest, root_path: str, root: INode, span=None
+    ) -> Generator:
         """Final phase: apply the root-level change."""
 
         def body(txn):
@@ -160,10 +184,16 @@ class SubtreeProtocol:
             )
             return moved
 
-        return (yield from self.fs.store.run_transaction(body))
+        return (
+            yield from self.fs.store.run_transaction(
+                body, label="subtree apply", trace_parent=span
+            )
+        )
 
-    def _release_subtree_flag(self, root: INode) -> Generator:
+    def _release_subtree_flag(self, root: INode, span=None) -> Generator:
         def body(txn):
             yield from txn.delete(("st_lock", root.id))
 
-        yield from self.fs.store.run_transaction(body)
+        yield from self.fs.store.run_transaction(
+            body, label="subtree unflag", trace_parent=span
+        )

@@ -76,6 +76,12 @@ class NameNodeKiller:
                         self.kills.append(KillRecord(
                             self.env.now, victim.id, deployment.name
                         ))
+                        tracer = self.env.tracer
+                        if tracer is not None:
+                            tracer.point(
+                                "chaos.kill", victim.id,
+                                deployment=deployment.name,
+                            )
                         victim.terminate(reason="fault")
                         break
         except Interrupt:

@@ -91,6 +91,7 @@ class LockManager:
         """
         budget = self.default_timeout_ms if timeout_ms is None else timeout_ms
         lock = self._locks.setdefault(key, _KeyLock())
+        tracer = self.env.tracer
 
         held = lock.holders.get(owner)
         if held is not None:
@@ -99,19 +100,34 @@ class LockManager:
             if len(lock.holders) == 1:
                 # Lone holder: upgrade in place.
                 lock.grant(owner, LockMode.EXCLUSIVE)
+                if tracer is not None:
+                    tracer.point("lock.acquire", repr(owner), key=repr(key),
+                                 mode="exclusive", upgrade=True,
+                                 epoch=getattr(owner, "_lock_epoch", None))
                 return
             # Upgrade with other sharers present: holding the shared
             # lock while waiting would deadlock against a concurrent
             # upgrader, so release and requeue for exclusive (the
             # caller must treat previously read values as stale).
             lock.revoke(owner)
+            if tracer is not None:
+                tracer.point("lock.release", repr(owner), key=repr(key),
+                             upgrade_requeue=True)
             self._grant_waiters(key, lock)
             lock = self._locks.setdefault(key, _KeyLock())
 
         if self._grantable(lock, owner, mode) and not lock.queue:
             lock.grant(owner, mode)
+            if tracer is not None:
+                tracer.point("lock.acquire", repr(owner), key=repr(key),
+                             mode=mode.value,
+                             epoch=getattr(owner, "_lock_epoch", None))
             return
 
+        if tracer is not None:
+            tracer.point("lock.wait", repr(owner), key=repr(key),
+                         mode=mode.value,
+                         epoch=getattr(owner, "_lock_epoch", None))
         request = _LockRequest(self.env, owner, mode)
         lock.queue.append(request)
         timer = self.env.timeout(budget)
@@ -121,6 +137,9 @@ class LockManager:
                 lock.queue.remove(request)
             except ValueError:
                 pass
+            if tracer is not None:
+                tracer.point("lock.wait_timeout", repr(owner), key=repr(key),
+                             budget_ms=budget)
             raise LockTimeout(f"lock wait on {key!r} exceeded {budget} ms")
         return
 
@@ -130,6 +149,9 @@ class LockManager:
         if lock is None or owner not in lock.holders:
             return
         lock.revoke(owner)
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.point("lock.release", repr(owner), key=repr(key))
         self._grant_waiters(key, lock)
 
     def release_all(self, owner: Any, keys) -> None:
@@ -146,6 +168,7 @@ class LockManager:
         return len(lock.holders) == 1 and owner in lock.holders
 
     def _grant_waiters(self, key: Any, lock: _KeyLock) -> None:
+        tracer = self.env.tracer
         granted_any = True
         while granted_any and lock.queue:
             granted_any = False
@@ -157,6 +180,10 @@ class LockManager:
             if self._grantable(lock, head.owner, head.mode):
                 lock.queue.popleft()
                 lock.grant(head.owner, head.mode)
+                if tracer is not None:
+                    tracer.point("lock.acquire", repr(head.owner),
+                                 key=repr(key), mode=head.mode.value,
+                                 epoch=getattr(head.owner, "_lock_epoch", None))
                 head.succeed()
                 granted_any = True
                 # Batch-grant further compatible shared requests.
@@ -167,6 +194,12 @@ class LockManager:
                             continue
                         if request.mode is LockMode.SHARED:
                             lock.grant(request.owner, LockMode.SHARED)
+                            if tracer is not None:
+                                tracer.point("lock.acquire",
+                                             repr(request.owner),
+                                             key=repr(key), mode="shared",
+                                             epoch=getattr(request.owner,
+                                                           "_lock_epoch", None))
                             request.succeed()
                         else:
                             remaining.append(request)

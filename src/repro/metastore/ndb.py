@@ -90,15 +90,23 @@ class NdbStore:
         return len(self._data)
 
     # -- transactions ----------------------------------------------------
-    def begin(self, label: str = "") -> "Transaction":
+    def begin(self, label: str = "", trace_parent=None) -> "Transaction":
         """Start a new transaction."""
-        return Transaction(self, next(self._txn_ids), label)
+        txn = Transaction(self, next(self._txn_ids), label)
+        tracer = self.env.tracer
+        if tracer is not None:
+            txn._trace_span = tracer.begin(
+                "txn", repr(txn), parent=trace_parent, label=label
+            )
+        return txn
 
     def run_transaction(
         self,
         body: Callable[["Transaction"], Generator],
         retries: int = 8,
         backoff_ms: float = 2.0,
+        label: str = "",
+        trace_parent=None,
     ) -> Generator:
         """Run ``body`` with retry-on-abort; returns the body's value.
 
@@ -107,7 +115,7 @@ class NdbStore:
         """
         attempt = 0
         while True:
-            txn = self.begin()
+            txn = self.begin(label, trace_parent)
             try:
                 result = yield from body(txn)
                 yield from txn.commit()
@@ -197,15 +205,23 @@ class Transaction:
         self._staged: Dict[Any, Any] = {}
         self._locked: Set[Any] = set()
         self._done = False
+        self._trace_span = None
+        # Canonical-order locking is promised per acquisition batch
+        # (one lock_many call, or one standalone lock), not across a
+        # transaction's lifetime; the epoch labels each batch so the
+        # lock-discipline checker scopes its ordering rule correctly.
+        self._lock_epoch = 0
 
     def __repr__(self) -> str:
         tag = f" {self.label}" if self.label else ""
         return f"<Txn {self.id}{tag}>"
 
     # -- locking ---------------------------------------------------------
-    def lock(self, key: Any, exclusive: bool = False) -> Generator:
+    def lock(self, key: Any, exclusive: bool = False, _batched: bool = False) -> Generator:
         """Acquire a row lock (aborting this txn on timeout)."""
         self._check_open()
+        if not _batched:
+            self._lock_epoch += 1
         mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
         try:
             yield from self.store.locks.acquire(self, key, mode)
@@ -228,8 +244,9 @@ class Transaction:
         (upgrades between concurrent readers deadlock).
         """
         strong = set(exclusive_keys)
+        self._lock_epoch += 1
         for key in sorted(set(keys) | strong, key=repr):
-            yield from self.lock(key, exclusive or key in strong)
+            yield from self.lock(key, exclusive or key in strong, _batched=True)
 
     # -- reads -------------------------------------------------------------
     def read(self, key: Any) -> Generator:
@@ -303,14 +320,14 @@ class Transaction:
                 self.store._apply_write(key, value)
             self.store.stats.writes += len(self._staged)
         self.store.stats.commits += 1
-        self._finish()
+        self._finish(committed=True)
 
     def abort(self) -> None:
         """Discard staged writes and release all locks (instantaneous)."""
         if self._done:
             return
         self.store.stats.aborts += 1
-        self._finish()
+        self._finish(committed=False)
 
     # -- internals -------------------------------------------------------------
     def _visible(self, key: Any) -> Any:
@@ -319,11 +336,18 @@ class Transaction:
             return None if value is _TOMBSTONE else value
         return self.store.peek(key)
 
-    def _finish(self) -> None:
+    def _finish(self, committed: bool = False) -> None:
         self.store.locks.release_all(self, self._locked)
         self._locked.clear()
         self._staged.clear()
         self._done = True
+        tracer = self.store.env.tracer
+        if tracer is not None:
+            # txn.end comes after release_all so the lock-discipline
+            # checker has seen every lock.release for this owner.
+            tracer.point("txn.end", repr(self), committed=committed)
+            tracer.end(self._trace_span, committed=committed)
+            self._trace_span = None
 
     def _check_open(self) -> None:
         if self._done:

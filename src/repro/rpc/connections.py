@@ -49,18 +49,35 @@ class TcpConnection:
         """
         env = self.server.env
         latency = self.server.latency
+        tracer = env.tracer
+        parent = getattr(request, "trace_parent", None)
         if not self.alive or not self.instance.is_alive:
             self.close()
+            if tracer is not None:
+                tracer.point("tcp.drop", f"conn{self.id}", parent=parent,
+                             deployment=self.deployment, when="pre-send")
             raise ConnectionDropped(f"connection {self.id} is down")
+        if tracer is not None:
+            tracer.point("tcp.send", f"conn{self.id}", parent=parent,
+                         deployment=self.deployment)
         yield env.timeout(latency.tcp_oneway())
         if not self.instance.is_alive:
             self.close()
+            if tracer is not None:
+                tracer.point("tcp.drop", f"conn{self.id}", parent=parent,
+                             deployment=self.deployment, when="in-flight")
             raise ConnectionDropped(f"{self.deployment} died before serving")
         response = yield from self.instance.serve(request, via="tcp")
         if not self.alive or not self.instance.is_alive:
             self.close()
+            if tracer is not None:
+                tracer.point("tcp.drop", f"conn{self.id}", parent=parent,
+                             deployment=self.deployment, when="mid-request")
             raise ConnectionDropped(f"{self.deployment} died mid-request")
         yield env.timeout(latency.tcp_oneway())
+        if tracer is not None:
+            tracer.point("tcp.recv", f"conn{self.id}", parent=parent,
+                         deployment=self.deployment)
         return response
 
 
@@ -85,6 +102,12 @@ class TcpServer:
         connection = TcpConnection(self, instance)
         self._by_deployment.setdefault(instance.deployment_name, []).append(connection)
         instance.attach_connection(connection)
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.point(
+                "tcp.connect_back", f"server{self.id}",
+                deployment=instance.deployment_name, instance=instance.id,
+            )
         return connection
 
     def find(self, deployment: str) -> Optional[TcpConnection]:

@@ -34,6 +34,9 @@ class Environment:
         self._queue: list = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        #: Optional :class:`repro.trace.Tracer`.  ``None`` (the default)
+        #: keeps tracing zero-cost: one attribute check per step.
+        self.tracer: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -82,6 +85,8 @@ class Environment:
             raise EmptySchedule() from None
 
         self._now = when
+        if self.tracer is not None:
+            self.tracer.on_step(when, _prio, _eid, event)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

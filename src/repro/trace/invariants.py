@@ -1,0 +1,310 @@
+"""Runtime invariant checkers over the trace span stream.
+
+Checkers subscribe to a :class:`~repro.trace.tracer.Tracer` and
+validate, online, the correctness properties the paper's arguments
+rest on:
+
+* **Coherence** (Algorithm 1 / Appendix D): a write must not commit
+  while an INV round it initiated for the same path is still awaiting
+  ACKs, and a NameNode must never serve a cached read for a path that
+  an INV already invalidated on that NameNode.
+* **Lock discipline** (strict two-phase locking in the metadata
+  store): no release-without-acquire, no two owners holding
+  incompatible modes on one row, no locks surviving past transaction
+  end, and no blocking lock acquisition out of canonical key order
+  within one acquisition batch (the deadlock-avoidance discipline of
+  ``Transaction.lock_many``; cross-batch hierarchical orders are
+  legitimate and protected by timeout+retry instead).
+
+Checkers record :class:`Violation` objects; with ``fail_fast=True``
+they raise :class:`InvariantViolation` immediately so a broken run
+dies at the first bad event instead of producing numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.trace.tracer import Span, Tracer
+
+
+class InvariantViolation(AssertionError):
+    """Raised by a fail-fast checker at the moment an invariant breaks."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded invariant violation."""
+
+    checker: str
+    rule: str
+    message: str
+    time_ms: float
+    actor: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.checker}/{self.rule}] t={self.time_ms:.3f}ms {self.message}"
+
+
+class Checker:
+    """Base class: violation bookkeeping plus the observe() hook."""
+
+    name = "checker"
+
+    def __init__(self, fail_fast: bool = False) -> None:
+        self.fail_fast = fail_fast
+        self.violations: List[Violation] = []
+
+    def observe(self, phase: str, span: Span) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _flag(self, rule: str, message: str, span: Span) -> None:
+        violation = Violation(self.name, rule, message, span.start_ms, span.actor)
+        self.violations.append(violation)
+        if self.fail_fast:
+            raise InvariantViolation(str(violation))
+
+
+def _covers(paths: Tuple[str, ...], prefix: Optional[str], path: str) -> bool:
+    """True when an INV round's target set includes ``path``."""
+    if prefix is not None:
+        return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+    return path in paths
+
+
+class CoherenceChecker(Checker):
+    """ACK-INV protocol: writes persist only after invalidation.
+
+    Consumes:
+
+    * ``coord.inv`` spans (begin = INVs sent, end = every ACK in, with
+      ``initiator``/``paths``/``prefix`` attrs);
+    * ``coord.inv_deliver`` points (an INV reached one member — from
+      that instant any cached copy of those paths on that member is
+      stale *by protocol*, whatever the member's handler does);
+    * ``nn.commit`` points (a write transaction is about to persist
+      ``paths``, emitted by the leader NameNode);
+    * ``nn.cache_put`` / ``nn.cache_hit`` points from NameNode caches.
+    """
+
+    name = "coherence"
+
+    def __init__(self, fail_fast: bool = False) -> None:
+        super().__init__(fail_fast)
+        # inv_id -> (initiator, paths, prefix, causal parent span id).
+        # A NameNode serves writes concurrently, so rounds are matched
+        # to commits by the originating request (the shared parent
+        # span), not just by the initiating actor — txn B must not be
+        # blamed for txn A's still-open round on the same path.
+        self.open_rounds: Dict[
+            int, Tuple[str, Tuple[str, ...], Optional[str], Optional[int]]
+        ] = {}
+        # actor -> path -> True (validly cached) / False (invalidated)
+        self.validity: Dict[str, Dict[str, bool]] = {}
+        self.commits_checked = 0
+        self.hits_checked = 0
+
+    def observe(self, phase: str, span: Span) -> None:
+        kind = span.kind
+        if kind == "coord.inv":
+            inv_id = span.attrs.get("inv_id")
+            if phase == "begin":
+                self.open_rounds[inv_id] = (
+                    span.attrs.get("initiator", ""),
+                    tuple(span.attrs.get("paths", ())),
+                    span.attrs.get("prefix"),
+                    span.parent_id,
+                )
+            elif phase == "end":
+                self.open_rounds.pop(inv_id, None)
+        elif phase != "point":
+            return
+        elif kind == "coord.inv_deliver":
+            self._mark_invalid(
+                span.attrs.get("member", span.actor),
+                tuple(span.attrs.get("paths", ())),
+                span.attrs.get("prefix"),
+            )
+        elif kind == "nn.commit":
+            self._check_commit(span)
+        elif kind == "nn.cache_put":
+            self.validity.setdefault(span.actor, {})[span.attrs["path"]] = True
+        elif kind == "nn.cache_invalidate":
+            # A local invalidation (leader refreshing its own cache);
+            # ``prefix`` covers subtree invalidations.
+            self._mark_invalid(
+                span.actor, (span.attrs["path"],), span.attrs.get("prefix")
+            )
+        elif kind == "nn.cache_hit":
+            self._check_hit(span)
+
+    # -- rules ---------------------------------------------------------
+    def _check_commit(self, span: Span) -> None:
+        self.commits_checked += 1
+        paths = tuple(span.attrs.get("paths", ()))
+        for inv_id, (initiator, inv_paths, prefix, parent) in self.open_rounds.items():
+            if initiator != span.actor or parent != span.parent_id:
+                continue
+            stale = [p for p in paths if _covers(inv_paths, prefix, p)]
+            if stale:
+                self._flag(
+                    "commit-before-ack",
+                    f"{span.actor} committed write to {stale} while INV round "
+                    f"{inv_id} (paths={list(inv_paths)!r}, prefix={prefix!r}) "
+                    f"still awaits ACKs",
+                    span,
+                )
+
+    def _check_hit(self, span: Span) -> None:
+        self.hits_checked += 1
+        path = span.attrs["path"]
+        if self.validity.get(span.actor, {}).get(path) is False:
+            self._flag(
+                "stale-cache-hit",
+                f"{span.actor} served cached read of {path!r} after it was "
+                f"invalidated on this NameNode",
+                span,
+            )
+
+    def _mark_invalid(
+        self, actor: str, paths: Tuple[str, ...], prefix: Optional[str]
+    ) -> None:
+        state = self.validity.setdefault(actor, {})
+        for path in paths:
+            state[path] = False
+        if prefix is not None:
+            for path in state:
+                if _covers((), prefix, path):
+                    state[path] = False
+
+
+class LockDisciplineChecker(Checker):
+    """Strict-2PL discipline over the metastore row locks.
+
+    Consumes ``lock.acquire`` / ``lock.release`` / ``lock.wait``
+    points from :class:`~repro.metastore.locks.LockManager` and
+    ``txn.end`` points from :class:`~repro.metastore.ndb.Transaction`.
+    Row keys are compared by their ``repr`` — the same canonical order
+    ``Transaction.lock_many`` sorts by.
+    """
+
+    name = "locks"
+
+    def __init__(self, fail_fast: bool = False) -> None:
+        super().__init__(fail_fast)
+        # owner label -> key repr -> mode ("shared" | "exclusive")
+        self.held: Dict[str, Dict[str, str]] = {}
+        # key repr -> {owner label: mode} (for mutual-exclusion checks)
+        self.by_key: Dict[str, Dict[str, str]] = {}
+        # owner label -> key repr -> acquisition batch epoch.  The
+        # canonical-order promise is per lock_many batch; hierarchical
+        # orders across batches are legitimate (timeout+retry handles
+        # those deadlocks), so the ordering rule only compares keys
+        # acquired in the same epoch as the blocking wait.
+        self.key_epoch: Dict[str, Dict[str, Any]] = {}
+        self.acquires = 0
+        self.releases = 0
+
+    def observe(self, phase: str, span: Span) -> None:
+        if phase != "point":
+            return
+        kind = span.kind
+        if kind == "lock.acquire":
+            self._on_acquire(span)
+        elif kind == "lock.release":
+            self._on_release(span)
+        elif kind == "lock.wait":
+            self._on_wait(span)
+        elif kind == "txn.end":
+            self._on_txn_end(span)
+
+    # -- rules ---------------------------------------------------------
+    def _on_acquire(self, span: Span) -> None:
+        self.acquires += 1
+        owner, key, mode = span.actor, span.attrs["key"], span.attrs["mode"]
+        holders = self.by_key.setdefault(key, {})
+        for other, other_mode in holders.items():
+            if other == owner:
+                continue
+            if mode == "exclusive" or other_mode == "exclusive":
+                self._flag(
+                    "mutual-exclusion",
+                    f"{owner} granted {mode} on {key} while {other} holds "
+                    f"{other_mode}",
+                    span,
+                )
+        holders[owner] = mode
+        self.held.setdefault(owner, {})[key] = mode
+        self.key_epoch.setdefault(owner, {})[key] = span.attrs.get("epoch")
+
+    def _on_release(self, span: Span) -> None:
+        self.releases += 1
+        owner, key = span.actor, span.attrs["key"]
+        mine = self.held.get(owner, {})
+        if key not in mine:
+            self._flag(
+                "release-without-acquire",
+                f"{owner} released {key} which it does not hold",
+                span,
+            )
+            return
+        del mine[key]
+        self.key_epoch.get(owner, {}).pop(key, None)
+        holders = self.by_key.get(key)
+        if holders is not None:
+            holders.pop(owner, None)
+            if not holders:
+                del self.by_key[key]
+
+    def _on_wait(self, span: Span) -> None:
+        owner, key = span.actor, span.attrs["key"]
+        mine = self.held.get(owner, {})
+        epochs = self.key_epoch.get(owner, {})
+        epoch = span.attrs.get("epoch")
+        later = [
+            held for held in mine
+            if held > key and epochs.get(held) == epoch
+        ]
+        if later:
+            self._flag(
+                "out-of-order-wait",
+                f"{owner} blocks on {key} while holding later-ordered "
+                f"key(s) {sorted(later)} — deadlock-prone acquisition order",
+                span,
+            )
+
+    def _on_txn_end(self, span: Span) -> None:
+        owner = span.actor
+        self.key_epoch.pop(owner, None)
+        leftover = self.held.pop(owner, {})
+        if leftover:
+            self._flag(
+                "locks-held-past-txn-end",
+                f"{owner} ended with lock(s) still held: {sorted(leftover)}",
+                span,
+            )
+            for key in leftover:
+                holders = self.by_key.get(key)
+                if holders is not None:
+                    holders.pop(owner, None)
+                    if not holders:
+                        del self.by_key[key]
+
+
+def default_checkers(fail_fast: bool = False) -> List[Checker]:
+    """The standard battery: coherence + lock discipline."""
+    return [CoherenceChecker(fail_fast), LockDisciplineChecker(fail_fast)]
+
+
+def install_tracer(
+    env,
+    fail_fast: bool = False,
+    keep_spans: bool = True,
+    checkers: Optional[List[Checker]] = None,
+) -> Tracer:
+    """Attach a tracer with the default invariant battery to ``env``."""
+    tracer = Tracer(env, keep_spans=keep_spans)
+    for checker in default_checkers(fail_fast) if checkers is None else checkers:
+        tracer.add_checker(checker)
+    return tracer

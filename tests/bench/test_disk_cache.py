@@ -1,0 +1,49 @@
+"""Tests for the benchmark disk cache and its env-var override."""
+
+import pickle
+
+from repro.bench.cache import ENV_VAR, cache_dir, disk_cached
+
+
+def test_cache_dir_env_var_wins(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path / "scratch"))
+    assert cache_dir(tmp_path / "default") == tmp_path / "scratch"
+
+
+def test_cache_dir_default_and_cwd_fallback(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert cache_dir(tmp_path / "default") == tmp_path / "default"
+    monkeypatch.chdir(tmp_path)
+    assert cache_dir() == tmp_path / "benchmarks" / "results"
+
+
+def test_disk_cached_computes_once(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"answer": 42}
+
+    first = disk_cached("unit", compute, tmp_path)
+    second = disk_cached("unit", compute, tmp_path)
+    assert first == second == {"answer": 42}
+    assert len(calls) == 1
+    assert (tmp_path / ".cache_unit.pkl").exists()
+
+
+def test_disk_cached_respects_env_override(tmp_path, monkeypatch):
+    scratch = tmp_path / "elsewhere"
+    monkeypatch.setenv(ENV_VAR, str(scratch))
+    disk_cached("unit", lambda: 1, tmp_path / "ignored")
+    assert (scratch / ".cache_unit.pkl").exists()
+    assert not (tmp_path / "ignored").exists()
+
+
+def test_disk_cached_recovers_from_corrupt_file(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    path = tmp_path / ".cache_unit.pkl"
+    path.write_bytes(b"not a pickle")
+    value = disk_cached("unit", lambda: "fresh", tmp_path)
+    assert value == "fresh"
+    assert pickle.loads(path.read_bytes()) == "fresh"

@@ -57,6 +57,56 @@ def test_read_only_latency_filter():
     assert reads == [1]
 
 
+def test_timeline_accepts_out_of_order_records():
+    # Records arrive in completion order of concurrent clients, which
+    # is not sorted by end_ms; the timeline must not care.
+    ordered = MetricsRecorder()
+    shuffled = MetricsRecorder()
+    ends = [100.0, 200.0, 900.0, 1_500.0]
+    for end in ends:
+        ordered.record("read file", 0.0, end)
+    for end in (1_500.0, 100.0, 900.0, 200.0):
+        shuffled.record("read file", 0.0, end)
+    assert shuffled.throughput_timeline(1_000.0) == \
+        ordered.throughput_timeline(1_000.0)
+    assert shuffled.peak_throughput(1_000.0) == ordered.peak_throughput(1_000.0)
+
+
+def test_timeline_bin_boundaries():
+    # bisect_right: an op ending exactly at a bin edge t+bin belongs
+    # to that bin, and is excluded from the next one ((t, t+bin]).
+    recorder = MetricsRecorder()
+    recorder.record("read file", 0.0, 1_000.0)
+    recorder.record("read file", 0.0, 2_000.0)
+    timeline = recorder.throughput_timeline(1_000.0)
+    assert timeline == [(0.0, 1.0), (1_000.0, 1.0), (2_000.0, 0.0)]
+
+
+def test_timeline_op_at_time_zero_is_never_counted():
+    # A record ending exactly at t=0 falls outside every (t, t+bin]
+    # interval — the documented edge of the half-open binning.
+    recorder = MetricsRecorder()
+    recorder.record("read file", 0.0, 0.0)
+    assert recorder.throughput_timeline(1_000.0) == [(0.0, 0.0)]
+
+
+def test_single_record_statistics():
+    recorder = MetricsRecorder()
+    recorder.record("read file", 10.0, 35.0)
+    assert recorder.average_latency() == pytest.approx(25.0)
+    assert recorder.average_throughput() == pytest.approx(1_000.0 / 35.0)
+    assert recorder.throughput_timeline(1_000.0) == [(0.0, 1.0)]
+    cdf = latency_cdf(recorder.latencies())
+    assert cdf == [(25.0, 1.0)]
+
+
+def test_average_throughput_zero_duration():
+    recorder = MetricsRecorder()
+    recorder.record("read file", 0.0, 0.0)
+    assert recorder.average_throughput() == 0.0
+    assert recorder.average_throughput(0.0) == 0.0
+
+
 def test_percentile_interpolation():
     values = [1.0, 2.0, 3.0, 4.0]
     assert percentile(values, 0) == 1.0

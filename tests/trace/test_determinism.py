@@ -1,0 +1,70 @@
+"""Determinism regression: same seed, same bits.
+
+The tracer folds every kernel step into a streaming hash, so two
+runs are step-for-step identical iff their hashes match.  A handful
+of module-level id counters (client/connection/request numbering)
+feed RNG stream names and must be reset between in-process runs —
+exactly what a fresh interpreter would see.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bench.experiments import fig8_spotify
+from repro.core import client as client_mod
+from repro.core import messages
+from repro.faas import platform as platform_mod
+from repro.rpc import connections
+
+
+def _reset_global_counters(monkeypatch):
+    """Give every process-global id counter a fresh start, as a new
+    interpreter would."""
+    monkeypatch.setattr(client_mod.LambdaFSClient, "_ids", itertools.count(1))
+    monkeypatch.setattr(connections.TcpConnection, "_ids", itertools.count(1))
+    monkeypatch.setattr(connections.TcpServer, "_ids", itertools.count(1))
+    monkeypatch.setattr(connections.ClientVM, "_ids", itertools.count(1))
+    monkeypatch.setattr(platform_mod.FunctionInstance, "_ids", itertools.count(1))
+    monkeypatch.setattr(messages, "_request_ids", itertools.count(1))
+
+
+def _run(monkeypatch, seed):
+    _reset_global_counters(monkeypatch)
+    run = fig8_spotify(
+        base_throughput=800.0,
+        duration_ms=4_000.0,
+        clients=16,
+        vcpus=64.0,
+        seed=seed,
+        systems=("lambda",),
+        trace=True,
+    )["lambda"]
+    assert run.trace_report is not None
+    return run
+
+
+@pytest.mark.slow
+def test_same_seed_is_bit_identical(monkeypatch):
+    first = _run(monkeypatch, seed=8)
+    second = _run(monkeypatch, seed=8)
+
+    assert first.trace_report["event_hash"] == second.trace_report["event_hash"]
+    assert first.trace_report["events_hashed"] == \
+        second.trace_report["events_hashed"]
+    assert first.trace_report["spans"] == second.trace_report["spans"]
+    # The recorded metrics agree too, not just the event stream.
+    assert first.avg_throughput == second.avg_throughput
+    assert first.avg_latency_ms == second.avg_latency_ms
+    assert first.latencies_by_op == second.latencies_by_op
+    assert first.throughput_timeline == second.throughput_timeline
+    assert (first.issued, first.completed) == (second.issued, second.completed)
+    # And the run was coherent while it was at it.
+    assert first.trace_report["violations"] == 0
+
+
+@pytest.mark.slow
+def test_different_seed_diverges(monkeypatch):
+    first = _run(monkeypatch, seed=8)
+    other = _run(monkeypatch, seed=9)
+    assert first.trace_report["event_hash"] != other.trace_report["event_hash"]

@@ -1,0 +1,148 @@
+"""Unit tests for the causal tracer itself."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.trace import Span, Tracer, parent_id_of
+
+
+def test_install_and_detach():
+    env = Environment()
+    tracer = Tracer(env)
+    assert env.tracer is tracer
+    tracer.detach()
+    assert env.tracer is None
+    # Detaching someone else's tracer is a no-op.
+    other = Tracer(env)
+    tracer.detach()
+    assert env.tracer is other
+
+
+def test_span_parenting_and_tree():
+    env = Environment()
+    tracer = Tracer(env)
+    root = tracer.begin("client.op", "client1", op="stat")
+    rpc = tracer.begin("rpc.tcp", "client1", parent=root, attempt=1)
+    handle = tracer.begin("nn.handle", "nn1", parent=rpc.span_id)
+    tracer.end(handle)
+    tracer.end(rpc)
+    tracer.end(root, ok=True)
+
+    assert root.parent_id is None
+    assert rpc.parent_id == root.span_id
+    assert handle.parent_id == rpc.span_id
+    assert root.attrs["ok"] is True
+
+    assert [s.span_id for s in tracer.roots()] == [root.span_id]
+    assert [s.span_id for s in tracer.children(root)] == [rpc.span_id]
+    tree = tracer.tree(root)
+    assert [(depth, s.kind) for depth, s in tree] == [
+        (0, "client.op"), (1, "rpc.tcp"), (2, "nn.handle")
+    ]
+    rendering = tracer.render_tree(root)
+    assert "client.op" in rendering and "  rpc.tcp" in rendering
+
+
+def test_parent_id_of_accepts_span_id_none():
+    env = Environment()
+    tracer = Tracer(env)
+    span = tracer.begin("x", "a")
+    assert parent_id_of(span) == span.span_id
+    assert parent_id_of(span.span_id) == span.span_id
+    assert parent_id_of(None) is None
+
+
+def test_point_is_zero_duration():
+    env = Environment()
+    tracer = Tracer(env)
+    point = tracer.point("nn.cache_hit", "nn1", path="/x")
+    assert point.duration_ms == 0.0
+    assert not point.open
+    assert tracer.points == 1
+
+
+def test_end_none_is_noop():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.end(None)  # must not raise (the disabled-site contract)
+
+
+def test_durations_and_timing_by_kind():
+    env = Environment()
+    tracer = Tracer(env)
+    span = tracer.begin("txn", "t1")
+
+    def advance(env):
+        yield env.timeout(5.0)
+
+    done = env.process(advance(env))
+    env.run(until=done)
+    tracer.end(span)
+    tracer.point("txn.end", "t1")
+    counts = tracer.timing_by_kind()
+    assert counts["txn"] == (1, pytest.approx(5.0))
+    assert tracer.durations("txn") == [pytest.approx(5.0)]
+    # Open spans are excluded from durations().
+    tracer.begin("txn", "t2")
+    assert len(tracer.durations("txn")) == 1
+
+
+def test_max_spans_drops_but_still_counts():
+    env = Environment()
+    tracer = Tracer(env, max_spans=2)
+    for index in range(5):
+        tracer.point("x", f"a{index}")
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 3
+    assert tracer.started == 5
+
+
+def test_keep_spans_false_streams_to_checkers():
+    env = Environment()
+    tracer = Tracer(env, keep_spans=False)
+
+    seen = []
+
+    class Probe:
+        violations = ()
+
+        def observe(self, phase, span):
+            seen.append((phase, span.kind))
+
+    tracer.add_checker(Probe())
+    tracer.point("x", "a")
+    assert tracer.spans == {}
+    assert ("point", "x") in seen
+
+
+def test_event_hash_tracks_kernel_steps():
+    def run(seed_delay):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc(env):
+            yield env.timeout(seed_delay)
+            yield env.timeout(1.0)
+
+        done = env.process(proc(env))
+        env.run(until=done)
+        return tracer.event_hash(), tracer.events_hashed
+
+    hash_a, steps_a = run(2.0)
+    hash_b, steps_b = run(2.0)
+    hash_c, _ = run(3.0)
+    assert hash_a == hash_b
+    assert steps_a == steps_b > 0
+    assert hash_a != hash_c
+
+
+def test_summary_shape():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.point("x", "a")
+    summary = tracer.summary()
+    assert set(summary) == {
+        "event_hash", "events_hashed", "spans", "points", "dropped",
+        "violations",
+    }
+    assert summary["spans"] == 1 and summary["violations"] == 0
