@@ -1,7 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 smoke run: the unit/integration suite minus anything marked
-# slow or bench.  Target budget: under ~60 seconds.
+# slow or bench, then one traced+telemetry microbenchmark whose
+# exports must parse.  Target budget: under ~90 seconds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    exec python -m pytest -x -q -m "not slow and not bench" "$@"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q -m "not slow and not bench" "$@"
+
+# Telemetry smoke: a small traced + instrumented run; every export
+# format must round-trip through its parser.
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+python -m repro telemetry --trace --clients 32 --ops 24 --warmup 16 \
+    --deployments 4 --out "$out" > "$out/dashboard.txt"
+grep -q "fleet (NameNodes per deployment)" "$out/dashboard.txt"
+grep -q "invariant violation" "$out/dashboard.txt"
+python - "$out" <<'EOF'
+import csv
+import sys
+
+from repro.telemetry import parse_prometheus_text, read_jsonl
+
+out = sys.argv[1]
+ts = read_jsonl(f"{out}/telemetry.jsonl")
+assert len(ts.samples) > 0, "JSONL export is empty"
+assert ts.keys(), "JSONL export has no series"
+samples = parse_prometheus_text(open(f"{out}/telemetry.prom").read())
+assert samples, "Prometheus export is empty"
+assert any(k.startswith("ops_total") for k in samples), samples.keys()
+rows = list(csv.reader(open(f"{out}/telemetry.csv")))
+assert rows and rows[0][0] == "t_ms", "CSV header malformed"
+assert len(rows) == len(ts.samples) + 1, "CSV row count mismatch"
+print(f"telemetry smoke ok: {len(ts.samples)} samples, "
+      f"{len(ts.keys())} series, {len(samples)} prom samples")
+EOF

@@ -300,9 +300,11 @@ class HopsFSCachedNameNode(HopsFSNameNode):
         if request.op is OpType.LS:
             listing = self._listing_cache.get(path)
             if listing is not None and full:
+                self.cache.stats.record_lookup(hit=True)
                 self.cluster.ops.check_traversal(path, known)
                 self.cluster.ops.check_readable(path, known[path])
                 return list(listing), True
+            self.cache.stats.record_lookup(hit=False)
             resolved, names = yield from self.cluster.store.run_transaction(
                 lambda txn: self.cluster.ops.ls(txn, path, known),
                 retries=self.cluster.config.txn_retries,
@@ -312,9 +314,11 @@ class HopsFSCachedNameNode(HopsFSNameNode):
                 self._listing_cache[path] = list(names)
             return names, False
         if full:
+            self.cache.stats.record_lookup(hit=True)
             self.cluster.ops.check_traversal(path, known)
             self.cluster.ops.check_readable(path, known[path])
             return known[path], True
+        self.cache.stats.record_lookup(hit=False)
         resolved = yield from self.cluster.store.run_transaction(
             lambda txn: self.cluster.ops.resolve(txn, path, known),
             retries=self.cluster.config.txn_retries,
@@ -385,7 +389,19 @@ class HopsFSCluster:
             self.namenode_class(self) for _ in range(self.config.num_namenodes)
         ]
         self.metrics = MetricsRecorder()
+        if any(hasattr(nn, "cache") for nn in self.namenodes):
+            self.metrics.attach_cache_stats(self.aggregate_cache_stats)
         self._invalidation_latency_ms = 0.4
+
+    def aggregate_cache_stats(self):
+        """Cluster-wide CacheStats rollup (cached variant only)."""
+        from repro.namespace.cache import CacheStats
+
+        return CacheStats.aggregate(
+            namenode.cache.stats
+            for namenode in self.namenodes
+            if hasattr(namenode, "cache")
+        )
 
     # -- lifecycle --------------------------------------------------------
     def format(self) -> None:

@@ -19,6 +19,7 @@ from repro.metastore import NdbConfig
 from repro.metrics import MetricsRecorder
 from repro.namespace.treegen import GeneratedTree
 from repro.sim import Environment
+from repro.telemetry import Telemetry, install_telemetry
 from repro.trace import install_tracer
 from repro.workloads import MicroBenchmark
 
@@ -38,6 +39,9 @@ class SystemHandle:
     prewarm: Optional[Callable[[], Generator]] = None
     tracer: Optional[object] = None
     """The :class:`repro.trace.Tracer` when built with ``trace=True``."""
+    telemetry: Optional[Telemetry] = None
+    """The :class:`repro.telemetry.Telemetry` bundle when built with
+    ``telemetry=True``."""
 
 
 def _maybe_trace(env: Environment, trace: bool):
@@ -47,6 +51,21 @@ def _maybe_trace(env: Environment, trace: bool):
     if env.tracer is None:
         return install_tracer(env)
     return env.tracer
+
+
+def _maybe_telemetry(
+    env: Environment, telemetry: bool, interval_ms: float
+) -> Optional[Telemetry]:
+    """Install the metrics registry + sampler once per environment.
+
+    Must run *before* the system is built so constructors (store,
+    platform, LambdaFS) see ``env.metrics`` and register their gauges.
+    """
+    if not telemetry:
+        return None
+    if env.metrics is None:
+        return install_telemetry(env, interval_ms=interval_ms)
+    return getattr(env.metrics, "bundle", None)
 
 
 def drive(env: Environment, generator: Generator):
@@ -94,8 +113,11 @@ def build_lambdafs(
     namenode_overrides: Optional[dict] = None,
     name: str = "λFS",
     trace: bool = False,
+    telemetry: bool = False,
+    telemetry_interval_ms: float = 500.0,
 ) -> SystemHandle:
     tracer = _maybe_trace(env, trace)
+    bundle = _maybe_telemetry(env, telemetry, telemetry_interval_ms)
     config = _lambda_config(
         vcpus, deployments, seed, ndb,
         faas_overrides or {}, client_overrides or {}, namenode_overrides or {},
@@ -130,6 +152,7 @@ def build_lambdafs(
         system=fs,
         prewarm=lambda: fs.prewarm(1),
         tracer=tracer,
+        telemetry=bundle,
     )
 
 
@@ -141,8 +164,11 @@ def build_infinicache(
     seed: int = 0,
     ndb: Optional[NdbConfig] = None,
     trace: bool = False,
+    telemetry: bool = False,
+    telemetry_interval_ms: float = 500.0,
 ) -> SystemHandle:
     tracer = _maybe_trace(env, trace)
+    bundle = _maybe_telemetry(env, telemetry, telemetry_interval_ms)
     # A static fleet is sized to its resources up front: one function
     # per deployment, as many deployments as the vCPU budget fits.
     per_instance = FaaSConfig().vcpus_per_instance
@@ -176,6 +202,7 @@ def build_infinicache(
         system=fs,
         prewarm=lambda: fs.prewarm(1),
         tracer=tracer,
+        telemetry=bundle,
     )
 
 
@@ -187,7 +214,10 @@ def _build_hops(
     seed: int,
     ndb: Optional[NdbConfig],
     name: str,
+    telemetry: bool = False,
+    telemetry_interval_ms: float = 500.0,
 ) -> SystemHandle:
+    bundle = _maybe_telemetry(env, telemetry, telemetry_interval_ms)
     namenodes = max(1, int(vcpus // 16))
     config = HopsFSConfig(
         num_namenodes=namenodes,
@@ -207,17 +237,24 @@ def _build_hops(
         cost_usd=lambda duration_ms: cluster.cost_usd(duration_ms),
         active_servers=lambda: len(cluster.namenodes),
         system=cluster,
+        telemetry=bundle,
     )
 
 
-def build_hopsfs(env, tree, vcpus: float = 512.0, seed: int = 0, ndb=None) -> SystemHandle:
-    return _build_hops(env, tree, False, vcpus, seed, ndb, "HopsFS")
+def build_hopsfs(
+    env, tree, vcpus: float = 512.0, seed: int = 0, ndb=None,
+    telemetry: bool = False,
+) -> SystemHandle:
+    return _build_hops(env, tree, False, vcpus, seed, ndb, "HopsFS",
+                       telemetry=telemetry)
 
 
 def build_hopsfs_cache(
-    env, tree, vcpus: float = 512.0, seed: int = 0, ndb=None, name: str = "HopsFS+Cache"
+    env, tree, vcpus: float = 512.0, seed: int = 0, ndb=None,
+    name: str = "HopsFS+Cache", telemetry: bool = False,
 ) -> SystemHandle:
-    return _build_hops(env, tree, True, vcpus, seed, ndb, name)
+    return _build_hops(env, tree, True, vcpus, seed, ndb, name,
+                       telemetry=telemetry)
 
 
 def build_cephfs(env, tree, vcpus: float = 512.0, seed: int = 0) -> SystemHandle:

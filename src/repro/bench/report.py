@@ -5,8 +5,21 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 
+import math
+
+
 def format_cell(cell) -> str:
+    """One table cell as text.
+
+    ``None`` renders as ``-`` (a missing measurement, e.g. a metric
+    family a run never touched), non-finite floats by name, and large
+    magnitudes — of either sign — with thousands separators.
+    """
+    if cell is None:
+        return "-"
     if isinstance(cell, float):
+        if not math.isfinite(cell):
+            return str(cell)  # "inf" / "-inf" / "nan"
         if abs(cell) >= 1000:
             return f"{cell:,.0f}"
         return f"{cell:.2f}"
@@ -14,17 +27,26 @@ def format_cell(cell) -> str:
 
 
 def tabulate(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
-    """Render a fixed-width text table."""
-    str_rows = [[format_cell(cell) for cell in row] for row in rows]
+    """Render a fixed-width text table.
+
+    Short rows are padded to the header width (missing cells show as
+    empty); extra cells beyond the headers are dropped.
+    """
+    columns = len(headers)
+    str_rows = [
+        [format_cell(cell) for cell in row[:columns]]
+        + [""] * (columns - len(row))
+        for row in rows
+    ]
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows
         else len(headers[i])
-        for i in range(len(headers))
+        for i in range(columns)
     ]
     lines = [
         "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
-        "  ".join("-" * widths[i] for i in range(len(headers))),
+        "  ".join("-" * widths[i] for i in range(columns)),
     ]
     for row in str_rows:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
     return "\n".join(lines)

@@ -8,6 +8,8 @@ Commands:
 * ``scaling`` — one client-scaling comparison point per system;
 * ``table3`` — the subtree-mv latency table;
 * ``replay`` — replay an audit-log trace file;
+* ``telemetry`` — a telemetry-instrumented microbenchmark rendering
+  the sim-time metrics dashboard (fleet size, RPC mix, cache rates);
 * ``experiments`` — list the experiment drivers and what they map to.
 """
 
@@ -175,6 +177,74 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    """A Fig-11-style microbenchmark with full telemetry.
+
+    A short prelude run by a few clients per VM establishes the
+    shared TCP connections, so the measured phases' HTTP traffic is
+    purely the deliberate replacement signal (§3.6) — the fleet
+    timeline then scales out with ``--replacement`` instead of with
+    the artefactual all-HTTP first-contact burst.  Phase 1 (reads)
+    warms caches under that signal; a mid-run subtree mv (away and
+    back) injects an invalidation storm so cache hit-rate gauges
+    visibly dip; phase 2 re-reads under the cooled caches.  The
+    sampled series are exported (JSONL/CSV/Prometheus) and rendered
+    as a dashboard.
+    """
+    from repro.telemetry import read_jsonl, render_dashboard
+
+    if args.load:
+        print(render_dashboard(read_jsonl(args.load)))
+        return 0
+
+    from repro.bench.harness import build_lambdafs, drive
+    from repro.core import OpType
+    from repro.namespace.treegen import TreeSpec, generate_tree
+    from repro.sim import Environment
+    from repro.workloads import MicroBenchmark
+
+    env = Environment()
+    tree = generate_tree(TreeSpec(seed=args.seed))
+    handle = build_lambdafs(
+        env, tree,
+        deployments=args.deployments,
+        seed=args.seed,
+        client_overrides={"replacement_probability": args.replacement},
+        trace=args.trace,
+        telemetry=True,
+        telemetry_interval_ms=args.interval,
+    )
+    telemetry = handle.telemetry
+    clients = handle.make_clients(args.clients)
+    drive(env, handle.prewarm())
+    bench = MicroBenchmark(env, tree, seed=args.seed)
+    # Connection prelude: a handful of clients (spanning every VM —
+    # connections are VM-shared) touch every deployment so the fleet
+    # the measured phases see is TCP-connected from op one.
+    drive(env, bench.run(clients[:8], OpType.READ_FILE, 0, args.warmup))
+    drive(env, bench.run(clients, OpType.READ_FILE, args.ops, 0))
+    # Injected subtree invalidation: move a hot directory away and
+    # back, blowing every deployment's cached entries beneath it.
+    victim = tree.directories[1]
+
+    def invalidate(env):
+        yield from clients[0].mv(victim, victim + "_tmp")
+        yield from clients[0].mv(victim + "_tmp", victim)
+
+    drive(env, invalidate(env))
+    drive(env, bench.run(clients, OpType.READ_FILE, args.ops, 0))
+    telemetry.stop()
+    print(telemetry.dashboard())
+    if args.out:
+        paths = telemetry.export(args.out)
+        print("\nexports:")
+        for kind in sorted(paths):
+            print(f"  {kind:6s} {paths[kind]}")
+    if handle.tracer is not None:
+        _print_trace_summary(handle.tracer)
+    return 0
+
+
 def _cmd_experiments(_args) -> int:
     table = [
         ("fig8a/fig8b", "Spotify workload throughput", "benchmarks/test_fig8a…,8b…"),
@@ -226,6 +296,27 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--clients", type=int, default=8)
     replay.add_argument("--trace-spans", action="store_true", help=trace_help)
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="telemetry-instrumented microbenchmark + ascii dashboard",
+    )
+    telemetry.add_argument("--clients", type=int, default=256)
+    telemetry.add_argument("--ops", type=int, default=192,
+                           help="measured ops per client per phase")
+    telemetry.add_argument("--warmup", type=int, default=64,
+                           help="connection-prelude ops per prelude client")
+    telemetry.add_argument("--deployments", type=int, default=4)
+    telemetry.add_argument("--interval", type=float, default=250.0,
+                           help="sampling interval (sim-ms)")
+    telemetry.add_argument("--replacement", type=float, default=0.1,
+                           help="HTTP-TCP replacement probability")
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument("--out", default=None,
+                           help="directory for JSONL/CSV/Prometheus exports")
+    telemetry.add_argument("--load", default=None, metavar="JSONL",
+                           help="render a dashboard from an existing export")
+    telemetry.add_argument("--trace", action="store_true", help=trace_help)
+
     sub.add_parser("experiments", help="list experiment drivers")
     return parser
 
@@ -236,6 +327,7 @@ COMMANDS = {
     "scaling": _cmd_scaling,
     "table3": _cmd_table3,
     "replay": _cmd_replay,
+    "telemetry": _cmd_telemetry,
     "experiments": _cmd_experiments,
 }
 

@@ -141,6 +141,12 @@ class LambdaFSClient:
             tracer.end(op_span, ok=response.ok, via=via, cache_hit=cache_hit)
         latency = env.now - start
         self._observe(latency)
+        metrics = env.metrics
+        if metrics is not None:
+            metrics.inc("ops_total", op=op.value)
+            if not response.ok:
+                metrics.inc("ops_failed_total", op=op.value)
+            metrics.observe("op_latency_ms", latency, op=op.value)
         self.fs.metrics.record(
             op=op.value, start_ms=start, end_ms=env.now,
             ok=response.ok, via=via, cache_hit=cache_hit,
@@ -153,6 +159,7 @@ class LambdaFSClient:
     ) -> Generator:
         env = self.fs.env
         tracer = env.tracer
+        metrics = env.metrics
         attempt = 0
         while True:
             attempt += 1
@@ -170,6 +177,11 @@ class LambdaFSClient:
                 )
                 request.trace_parent = rpc_span.span_id
             try:
+                if metrics is not None:
+                    metrics.inc(
+                        "rpc_requests_total",
+                        transport="tcp" if use_tcp else "http",
+                    )
                 if use_tcp:
                     self.stats_tcp_rpcs += 1
                     response = yield from self._tcp_call(connection, request)
@@ -181,6 +193,8 @@ class LambdaFSClient:
                 return response, "tcp" if use_tcp else "http", response.cache_hit
             except (ConnectionDropped, InstanceTerminated, RequestTimeout) as exc:
                 self.stats_retries += 1
+                if metrics is not None:
+                    metrics.inc("rpc_retries_total", error=type(exc).__name__)
                 if tracer is not None:
                     tracer.end(rpc_span, ok=False, error=type(exc).__name__)
                     tracer.point(
@@ -192,7 +206,10 @@ class LambdaFSClient:
                 if not use_tcp:
                     # HTTP resubmission storms are dangerous (§3.2):
                     # back off exponentially with jitter.
-                    yield env.timeout(self.config.retry.delay(attempt, self._rng))
+                    backoff = self.config.retry.delay(attempt, self._rng)
+                    if metrics is not None:
+                        metrics.inc("rpc_backoff_ms_total", backoff)
+                    yield env.timeout(backoff)
                 # A dropped TCP connection retries immediately: the
                 # next find_shared scans sibling servers, and the HTTP
                 # fallback kicks in if nothing is connected.
@@ -224,6 +241,8 @@ class LambdaFSClient:
             return outcome[call]
         # Straggler: abandon this request and resubmit elsewhere.
         self.stats_stragglers += 1
+        if env.metrics is not None:
+            env.metrics.inc("client_stragglers_total")
         call.defused()
         raise RequestTimeout(f"straggler after {threshold:.1f} ms")
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
 from repro.coordination import make_coordinator
+from repro.core.autoscaling import desired_scale
 from repro.core.client import ClientConfig, LambdaFSClient
 from repro.core.maintenance import DataNodeConfig, DataNodeService
 from repro.core.namenode import LambdaNameNode, NameNodeConfig
@@ -33,6 +34,7 @@ from repro.core.subtree import SubtreeConfig, SubtreeProtocol
 from repro.faas import FaaSConfig, FaaSPlatform
 from repro.metastore import NdbConfig, NdbStore
 from repro.metrics import MetricsRecorder, lambda_cost, simplified_cost
+from repro.namespace.cache import CacheStats
 from repro.rpc import ClientVM, LatencyConfig, LatencyModel
 from repro.sim import AllOf, Environment, RngStreams
 
@@ -72,10 +74,83 @@ class LambdaFS:
         self.subtree = SubtreeProtocol(self, self.config.subtree)
         self.datanodes = DataNodeService(env, self.store, self.config.datanodes)
         self.metrics = MetricsRecorder()
+        self.metrics.attach_cache_stats(self.aggregate_cache_stats)
         for name in self.partitioner.deployment_names():
             self.platform.register_deployment(
                 name, lambda instance: LambdaNameNode(instance, self)
             )
+        if env.metrics is not None:
+            self._register_telemetry_gauges(env.metrics)
+
+    def _register_telemetry_gauges(self, metrics) -> None:
+        """Cache and fleet-scale gauges, evaluated at sample time."""
+        for name in self.partitioner.deployment_names():
+            deployment = self.platform.deployments[name]
+
+            def caches(d=deployment):
+                return [
+                    instance.app.cache
+                    for instance in d.all_instances
+                    if instance.app is not None
+                ]
+
+            metrics.register_gauge(
+                "cache_hit_ratio",
+                lambda c=caches: CacheStats.aggregate(
+                    cache.stats for cache in c()
+                ).hit_ratio,
+                help="Request-level cache hit ratio (CacheStats rollup)",
+                deployment=name,
+            )
+            metrics.register_gauge(
+                "cache_trie_size",
+                lambda c=caches: float(sum(len(cache) for cache in c())),
+                help="Cached INodes across live + dead instances",
+                deployment=name,
+            )
+            for field_name in ("hits", "misses", "invalidations", "evictions"):
+                metrics.register_gauge(
+                    f"cache_{field_name}_total",
+                    lambda f=field_name, c=caches: float(sum(
+                        getattr(cache.stats, f) for cache in c()
+                    )),
+                    help="CacheStats field summed over the deployment",
+                    deployment=name,
+                )
+        metrics.register_gauge(
+            "fleet_actual_namenodes", lambda: float(self.active_namenodes()),
+            help="Live NameNode instances across every deployment",
+        )
+        metrics.register_gauge(
+            "fleet_desired_namenodes", self._desired_namenodes,
+            help="Figure 6 expected scale for the instantaneous load",
+        )
+
+    def _desired_namenodes(self) -> float:
+        """Figure 6's expected scale, with in-flight requests as α."""
+        alpha = float(sum(
+            instance.active_requests
+            for deployment in self.platform.deployments.values()
+            for instance in deployment.instances
+        ))
+        expected = desired_scale(
+            self.config.num_deployments,
+            self.config.client.replacement_probability,
+            alpha,
+        )
+        bound = (
+            self.config.faas.cluster_vcpus
+            / self.config.faas.vcpus_per_instance
+        )
+        return min(expected, bound)
+
+    def aggregate_cache_stats(self) -> CacheStats:
+        """Fleet-wide CacheStats rollup (every instance, dead or alive)."""
+        return CacheStats.aggregate(
+            instance.app.cache.stats
+            for instance in self.all_instances()
+            if instance.app is not None
+        )
 
     # -- lifecycle ---------------------------------------------------------
     def format(self) -> None:

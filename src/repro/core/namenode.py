@@ -154,6 +154,7 @@ class LambdaNameNode:
         if request.op is OpType.LS:
             return (yield from self._handle_ls(path, known, span))
         if self._full_chain(path, known):
+            self.cache.stats.record_lookup(hit=True)
             if tracer is not None:
                 tracer.point("nn.cache_hit", self.member_id, parent=span,
                              path=path)
@@ -164,6 +165,7 @@ class LambdaNameNode:
                 yield from self._maybe_refresh_datanodes()
                 return self._file_view(inode), True
             return inode, True
+        self.cache.stats.record_lookup(hit=False)
         if tracer is not None:
             tracer.point("nn.cache_miss", self.member_id, parent=span,
                          path=path)
@@ -186,12 +188,14 @@ class LambdaNameNode:
         tracer = self.fs.env.tracer
         listing = self._listing_cache.get(path)
         if listing is not None and self._full_chain(path, known):
+            self.cache.stats.record_lookup(hit=True)
             if tracer is not None:
                 tracer.point("nn.cache_hit", self.member_id, parent=span,
                              path=path, listing=True)
             self.fs.ops.check_traversal(path, known)
             self.fs.ops.check_readable(path, known[path])
             return list(listing), True
+        self.cache.stats.record_lookup(hit=False)
         if tracer is not None:
             tracer.point("nn.cache_miss", self.member_id, parent=span,
                          path=path, listing=True)

@@ -131,6 +131,12 @@ class FunctionInstance:
         """Tear the instance down (scale-in, eviction, or fault test)."""
         if self.state == "terminated":
             return
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.inc(
+                "faas_terminations_total",
+                deployment=self.deployment.name, reason=reason,
+            )
         was_provisioning = self.state == "provisioning"
         self.state = "terminated"
         self.terminated_at_ms = self.env.now
@@ -286,7 +292,48 @@ class FaaSPlatform:
             raise ValueError(f"deployment {name!r} already registered")
         deployment = Deployment(self, name, app_factory)
         self.deployments[name] = deployment
+        if self.env.metrics is not None:
+            self._register_deployment_gauges(deployment)
         return deployment
+
+    def _register_deployment_gauges(self, deployment: Deployment) -> None:
+        """Expose fleet state as callback gauges (read at sample time)."""
+        metrics = self.env.metrics
+        name = deployment.name
+
+        def _count_state(state: str, d: Deployment = deployment) -> int:
+            return sum(1 for i in d.instances if i.state == state)
+
+        metrics.register_gauge(
+            "faas_instances_live", deployment.live_count,
+            help="Live (warm or provisioning) instances per deployment",
+            deployment=name,
+        )
+        for state in ("warm", "provisioning"):
+            metrics.register_gauge(
+                "faas_instances",
+                lambda s=state, d=deployment: _count_state(s, d),
+                help="Instances by lifecycle state",
+                deployment=name, state=state,
+            )
+        metrics.register_gauge(
+            "faas_http_in_flight",
+            lambda d=deployment: sum(i.http_in_flight for i in d.instances),
+            help="HTTP invocations currently in flight",
+            deployment=name,
+        )
+        metrics.register_gauge(
+            "faas_provisioned_ms_total",
+            lambda d=deployment: sum(i.provisioned_ms() for i in d.all_instances),
+            help="Cumulative container-provisioned milliseconds (billing)",
+            deployment=name,
+        )
+        metrics.register_gauge(
+            "faas_busy_ms_total",
+            lambda d=deployment: sum(i.busy_ms_snapshot() for i in d.all_instances),
+            help="Cumulative busy milliseconds across all instances ever",
+            deployment=name,
+        )
 
     def start(self) -> None:
         """Start background maintenance (idle reclamation)."""
@@ -320,6 +367,10 @@ class FaaSPlatform:
         deployment.instances.append(instance)
         deployment.all_instances.append(instance)
         self.cold_starts += 1
+        if self.env.metrics is not None:
+            self.env.metrics.inc(
+                "faas_cold_starts_total", deployment=deployment.name
+            )
         self._record(ScaleEvent(
             self.env.now, deployment.name, "provision", deployment.live_count()
         ))
@@ -337,6 +388,10 @@ class FaaSPlatform:
         another deployment (Appendix C) or park until capacity frees.
         """
         deployment = self.deployments[deployment_name]
+        if self.env.metrics is not None:
+            self.env.metrics.inc(
+                "faas_invocations_total", deployment=deployment_name
+            )
         instance: Optional[FunctionInstance] = None
         while instance is None:
             instance = deployment.pick_available()

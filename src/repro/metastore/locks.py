@@ -74,6 +74,14 @@ class LockManager:
         self.env = env
         self.default_timeout_ms = default_timeout_ms
         self._locks: Dict[Any, _KeyLock] = {}
+        if env.metrics is not None:
+            env.metrics.register_gauge(
+                "lock_queue_depth",
+                lambda locks=self._locks: float(
+                    sum(len(lock.queue) for lock in locks.values())
+                ),
+                help="Total transactions parked waiting for row locks",
+            )
 
     def holders(self, key: Any) -> Dict[Any, LockMode]:
         """Snapshot of current holders for ``key`` (for tests)."""
@@ -128,15 +136,23 @@ class LockManager:
             tracer.point("lock.wait", repr(owner), key=repr(key),
                          mode=mode.value,
                          epoch=getattr(owner, "_lock_epoch", None))
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.inc("lock_waits_total", mode=mode.value)
+        wait_started = self.env.now
         request = _LockRequest(self.env, owner, mode)
         lock.queue.append(request)
         timer = self.env.timeout(budget)
         result = yield request | timer
+        if metrics is not None:
+            metrics.observe("lock_wait_ms", self.env.now - wait_started)
         if request not in result:
             try:
                 lock.queue.remove(request)
             except ValueError:
                 pass
+            if metrics is not None:
+                metrics.inc("lock_wait_timeouts_total")
             if tracer is not None:
                 tracer.point("lock.wait_timeout", repr(owner), key=repr(key),
                              budget_ms=budget)

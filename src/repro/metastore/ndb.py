@@ -71,6 +71,26 @@ class NdbStore:
         ]
         self._txn_ids = count(1)
         self.stats = NdbStats()
+        if env.metrics is not None:
+            self._register_gauges(env.metrics)
+
+    def _register_gauges(self, metrics: Any) -> None:
+        """Expose NdbStats and shard queues as sample-time callbacks."""
+        stats = self.stats
+        for field_name in ("reads", "rows_read", "writes", "commits",
+                          "aborts", "scans", "busy_ms"):
+            metrics.register_gauge(
+                f"store_{field_name}",
+                lambda f=field_name, s=stats: float(getattr(s, f)),
+                help="NdbStats field (cumulative)",
+            )
+        for index, shard in enumerate(self._shards):
+            metrics.register_gauge(
+                "store_shard_queue_depth",
+                lambda r=shard: float(r.queue_length),
+                help="Requests waiting for a shard worker",
+                shard=str(index),
+            )
 
     # -- direct (non-transactional) access ------------------------------
     def peek(self, key: Any) -> Any:
@@ -320,6 +340,8 @@ class Transaction:
                 self.store._apply_write(key, value)
             self.store.stats.writes += len(self._staged)
         self.store.stats.commits += 1
+        if self.store.env.metrics is not None:
+            self.store.env.metrics.inc("store_txns_total", outcome="commit")
         self._finish(committed=True)
 
     def abort(self) -> None:
@@ -327,6 +349,8 @@ class Transaction:
         if self._done:
             return
         self.store.stats.aborts += 1
+        if self.store.env.metrics is not None:
+            self.store.env.metrics.inc("store_txns_total", outcome="abort")
         self._finish(committed=False)
 
     # -- internals -------------------------------------------------------------

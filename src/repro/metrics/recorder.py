@@ -28,6 +28,13 @@ class MetricsRecorder:
 
     def __init__(self) -> None:
         self.records: List[OpRecord] = []
+        self._cache_stats_provider = None
+
+    def attach_cache_stats(self, provider) -> None:
+        """Make ``provider()`` (returning a CacheStats-like object with
+        ``lookups``/``hit_ratio``) the authoritative source for
+        :meth:`cache_hit_ratio`, replacing per-record flag counting."""
+        self._cache_stats_provider = provider
 
     def record(
         self,
@@ -89,6 +96,13 @@ class MetricsRecorder:
         return sum(values) / len(values) if values else 0.0
 
     def cache_hit_ratio(self) -> float:
+        """Hit ratio from the attached CacheStats when available
+        (single source of truth); falls back to per-record flags for
+        standalone recorders with no system attached."""
+        if self._cache_stats_provider is not None:
+            stats = self._cache_stats_provider()
+            if stats.lookups:
+                return stats.hit_ratio
         if not self.records:
             return 0.0
         hits = sum(1 for record in self.records if record.cache_hit)

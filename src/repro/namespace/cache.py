@@ -13,7 +13,7 @@ how the "reduced-cache λFS" configuration of §5.2.3 is expressed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional
 
 from repro.namespace.inode import INode
 from repro.namespace.paths import components, normalize
@@ -21,7 +21,14 @@ from repro.namespace.paths import components, normalize
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidations counters for one cache."""
+    """Hit/miss/invalidations counters for one cache.
+
+    This is the *single* source of truth for cache accounting: the
+    NameNode request handlers call :meth:`record_lookup` at their
+    hit/miss decision points, and every downstream consumer
+    (``MetricsRecorder.cache_hit_ratio``, telemetry gauges, reports)
+    reads from here instead of keeping parallel counters.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -36,6 +43,30 @@ class CacheStats:
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def record_lookup(self, hit: bool) -> None:
+        """Count one request-level cache decision (hit or miss)."""
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Add ``other``'s counters into this one (for fleet rollups)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.insertions += other.insertions
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+        return self
+
+    @staticmethod
+    def aggregate(stats: "Iterable[CacheStats]") -> "CacheStats":
+        """A fresh CacheStats summing every element of ``stats``."""
+        total = CacheStats()
+        for item in stats:
+            total.merge(item)
+        return total
 
 
 class _TrieNode:

@@ -38,6 +38,10 @@ class TcpConnection:
         return self.instance.deployment_name
 
     def close(self) -> None:
+        if self.alive and self.server.env.metrics is not None:
+            self.server.env.metrics.inc(
+                "tcp_connections_closed_total", deployment=self.deployment
+            )
         self.alive = False
         self.server._drop(self)
 
@@ -102,6 +106,11 @@ class TcpServer:
         connection = TcpConnection(self, instance)
         self._by_deployment.setdefault(instance.deployment_name, []).append(connection)
         instance.attach_connection(connection)
+        if self.env.metrics is not None:
+            self.env.metrics.inc(
+                "tcp_connections_opened_total",
+                deployment=instance.deployment_name,
+            )
         tracer = self.env.tracer
         if tracer is not None:
             tracer.point(
@@ -180,14 +189,19 @@ class ClientVM:
         on this VM, paying one intra-VM hop.  Returns a live
         connection or None.
         """
+        metrics = self.env.metrics
         connection = own_server.find(deployment)
         if connection is not None:
+            if metrics is not None:
+                metrics.inc("tcp_connection_reuse_total", source="own")
             return connection
         for server in self.servers:
             if server is own_server:
                 continue
             connection = server.find(deployment)
             if connection is not None:
+                if metrics is not None:
+                    metrics.inc("tcp_connection_reuse_total", source="sibling")
                 yield self.env.timeout(self.latency.intra_vm())
                 return connection
         return None

@@ -37,6 +37,10 @@ class Environment:
         #: Optional :class:`repro.trace.Tracer`.  ``None`` (the default)
         #: keeps tracing zero-cost: one attribute check per step.
         self.tracer: Optional[Any] = None
+        #: Optional :class:`repro.telemetry.MetricsRegistry` — same
+        #: contract as the tracer: instrumentation sites check
+        #: ``env.metrics is None`` and pay nothing when telemetry is off.
+        self.metrics: Optional[Any] = None
 
     @property
     def now(self) -> float:

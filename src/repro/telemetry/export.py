@@ -1,0 +1,114 @@
+"""Telemetry exporters: JSONL snapshots, CSV time-series, Prometheus.
+
+Three formats, three audiences:
+
+* **JSONL** — one JSON object per sample, lossless, round-trips back
+  into a :class:`~repro.telemetry.sampler.TimeSeries` (the ``repro
+  telemetry --load`` path);
+* **CSV** — one column per series, for spreadsheets and pandas;
+* **Prometheus text** — the registry's *final* state (cumulative
+  counters, last gauges, full histogram buckets) in the standard
+  exposition format, so real Prometheus/Grafana tooling can ingest a
+  finished run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Dict, List, Union
+
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sampler import TimeSeries
+
+PathOrFile = Union[str, IO[str]]
+
+
+def _open(target: PathOrFile, mode: str):
+    if isinstance(target, str):
+        return open(target, mode, newline=""), True
+    return target, False
+
+
+def write_jsonl(timeseries: TimeSeries, target: PathOrFile) -> int:
+    """Write one JSON object per sample; returns lines written."""
+    handle, owned = _open(target, "w")
+    try:
+        for t_ms, values in timeseries.samples:
+            handle.write(json.dumps(
+                {"t_ms": t_ms, "values": values}, sort_keys=True
+            ))
+            handle.write("\n")
+        return len(timeseries.samples)
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_jsonl(source: PathOrFile) -> TimeSeries:
+    """Load a time-series previously written by :func:`write_jsonl`."""
+    handle, owned = _open(source, "r")
+    timeseries = TimeSeries()
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "t_ms" not in record:
+                continue  # tolerate meta/comment records
+            timeseries.append(float(record["t_ms"]), dict(record.get("values", {})))
+        return timeseries
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_csv(timeseries: TimeSeries, target: PathOrFile) -> List[str]:
+    """Write ``t_ms`` plus one column per series; returns the header."""
+    keys = timeseries.keys()
+    header = ["t_ms"] + keys
+    handle, owned = _open(target, "w")
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for t_ms, values in timeseries.samples:
+            writer.writerow(
+                [repr(t_ms)] + [
+                    repr(values[key]) if key in values else "" for key in keys
+                ]
+            )
+        return header
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_prometheus(registry: MetricsRegistry, target: PathOrFile) -> str:
+    """Dump the registry's final state in Prometheus text format."""
+    text = registry.prometheus_text()
+    handle, owned = _open(target, "w")
+    try:
+        handle.write(text)
+        return text
+    finally:
+        if owned:
+            handle.close()
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Minimal parser for the exposition format (used by smoke tests).
+
+    Returns ``{series: value}``; raises ``ValueError`` on malformed
+    sample lines so CI can assert a dump is well-formed.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        if not series:
+            raise ValueError(f"malformed sample line: {line!r}")
+        out[series] = float(value)
+    return out

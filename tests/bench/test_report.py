@@ -25,3 +25,32 @@ def test_tabulate_empty_rows():
     table = tabulate(["a", "b"], [])
     assert "a" in table and "b" in table
     assert len(table.split("\n")) == 2
+
+
+def test_format_cell_none_is_dash():
+    assert format_cell(None) == "-"
+
+
+def test_format_cell_negative_large_floats():
+    assert format_cell(-1234.5) == "-1,234"
+    assert format_cell(-12.345) == "-12.35"
+
+
+def test_format_cell_non_finite():
+    assert format_cell(float("inf")) == "inf"
+    assert format_cell(float("-inf")) == "-inf"
+    assert format_cell(float("nan")) == "nan"
+
+
+def test_tabulate_none_cells_render_as_dash():
+    table = tabulate(["a", "b"], [[None, 1.0]])
+    assert table.split("\n")[2].startswith("-")
+
+
+def test_tabulate_ragged_rows():
+    # Short rows pad with blanks; long rows drop the extras.
+    table = tabulate(["a", "b"], [["x"], ["y", 2.0, "extra"]])
+    lines = table.split("\n")
+    assert len(lines) == 4
+    assert "extra" not in table
+    assert lines[2].split("  ")[0].strip() == "x"

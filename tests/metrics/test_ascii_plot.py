@@ -42,3 +42,25 @@ def test_line_plot_contains_markers_and_legend():
 
 def test_line_plot_empty():
     assert line_plot({}) == ""
+
+
+def test_sparkline_single_value():
+    assert sparkline([7.0]) == "▁"
+
+
+def test_sparkline_negative_values_normalise():
+    line = sparkline([-10.0, 0.0, 10.0])
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_bar_chart_all_zero_values():
+    # A zero peak must not divide by zero; bars are just empty.
+    chart = bar_chart([("a", 0.0), ("b", 0.0)], width=10)
+    assert "█" not in chart
+    assert len(chart.split("\n")) == 2
+
+
+def test_line_plot_single_point_series():
+    plot = line_plot({"s": [(5.0, 5.0)]}, width=12, height=4)
+    assert "s" in plot
+    assert "s = s" in plot

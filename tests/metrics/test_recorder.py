@@ -130,3 +130,28 @@ def test_latency_cdf_monotone():
     assert ys == sorted(ys)
     assert ys[-1] == 1.0
     assert latency_cdf([]) == []
+
+
+def test_percentile_single_sample_any_q():
+    for q in (0, 37.5, 100):
+        assert percentile([42.0], q) == 42.0
+
+
+def test_percentile_extremes_hit_min_max():
+    values = [5.0, 1.0, 9.0, 3.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 9.0
+
+
+def test_percentile_rejects_bad_q_and_empty():
+    with pytest.raises(ValueError):
+        percentile([1.0, 2.0], -0.001)
+    with pytest.raises(ValueError):
+        percentile([1.0, 2.0], 100.001)
+    with pytest.raises(ValueError):
+        percentile([], 0)
+
+
+def test_percentile_unsorted_input():
+    values = [30.0, 10.0, 20.0]
+    assert percentile(values, 50) == 20.0

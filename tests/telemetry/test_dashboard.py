@@ -1,0 +1,68 @@
+"""Tests for the ascii dashboard renderer."""
+
+from repro.telemetry import MetricsRegistry, TimeSeries, render_dashboard
+from repro.telemetry.dashboard import _interval_hit_rate
+
+
+def _fleet_timeseries() -> TimeSeries:
+    ts = TimeSeries()
+    for index, t in enumerate((0.0, 250.0, 500.0)):
+        ts.append(t, {
+            'faas_instances_live{deployment="NameNode0"}': 1.0 + index,
+            "fleet_actual_namenodes": 1.0 + index,
+            "fleet_desired_namenodes": 2.0 + index,
+            'rpc_requests_total{transport="tcp"}': 100.0 * index,
+            'rpc_requests_total{transport="http"}': 10.0 * index,
+            'cache_hits_total{deployment="NameNode0"}': 50.0 * index,
+            'cache_misses_total{deployment="NameNode0"}': 5.0 * index,
+            'cache_hit_ratio{deployment="NameNode0"}': 0.9,
+            'cache_trie_size{deployment="NameNode0"}': 100.0,
+            "custom_series": float(index),
+        })
+    return ts
+
+
+def test_render_dashboard_sections():
+    report = render_dashboard(_fleet_timeseries())
+    assert "fleet (NameNodes per deployment)" in report
+    assert "NameNode0" in report
+    assert "rpc mix" in report
+    assert "tcp req/interval" in report
+    assert "http req/interval" in report
+    assert "namespace cache" in report
+    assert "hit%/intvl NameNode0" in report
+    assert "trie entries (fleet)" in report
+    # Unclaimed series fall into the generic tail.
+    assert "custom_series" in report
+
+
+def test_render_dashboard_empty():
+    assert "no samples" in render_dashboard(TimeSeries())
+
+
+def test_render_dashboard_counters_table():
+    registry = MetricsRegistry()
+    registry.inc("ops_total", 5.0, op="read")
+    registry.observe("op_latency_ms", 3.0, op="read")
+    report = render_dashboard(_fleet_timeseries(), registry)
+    assert "end-of-run counters" in report
+    assert "ops_total" in report
+    assert "op_latency_ms (n, ≤p99)" in report
+
+
+def test_interval_hit_rate_dips_on_miss_burst():
+    ts = TimeSeries()
+    # 100% hits, then an interval of all misses, then recovery.
+    cumulative = [(0.0, 10.0, 0.0), (100.0, 20.0, 0.0),
+                  (200.0, 20.0, 15.0), (300.0, 35.0, 15.0)]
+    for t, hits, misses in cumulative:
+        ts.append(t, {"cache_hits_total": hits, "cache_misses_total": misses})
+    rates = _interval_hit_rate(ts, "cache_hits_total", "cache_misses_total")
+    assert [rate for _, rate in rates] == [100.0, 100.0, 0.0, 100.0]
+
+
+def test_interval_hit_rate_zero_lookups_is_zero():
+    ts = TimeSeries()
+    ts.append(0.0, {"cache_hits_total": 0.0, "cache_misses_total": 0.0})
+    rates = _interval_hit_rate(ts, "cache_hits_total", "cache_misses_total")
+    assert rates == [(0.0, 0.0)]
