@@ -35,3 +35,37 @@ assert len(rows) == len(ts.samples) + 1, "CSV row count mismatch"
 print(f"telemetry smoke ok: {len(ts.samples)} samples, "
       f"{len(ts.keys())} series, {len(samples)} prom samples")
 EOF
+
+# Profiler smoke: a profiled microbenchmark; the Chrome trace must be
+# valid (finite, non-negative timestamps), the stage attribution must
+# tile each op's latency exactly, and a self-diff must be clean.
+python -m repro profile run --clients 32 --ops 24 --warmup 16 \
+    --deployments 4 --out "$out/profile" \
+    --bench-json BENCH_profile.json > "$out/profile.txt"
+grep -q "critical-path latency by op type" "$out/profile.txt"
+python - "$out" <<'EOF'
+import json
+import math
+import sys
+
+from repro.profile import Profile, diff_profiles
+
+out = sys.argv[1]
+trace = json.load(open(f"{out}/profile/trace.chrome.json"))
+events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+assert events, "Chrome trace has no complete events"
+for event in events:
+    assert math.isfinite(event["ts"]) and event["ts"] >= 0, event
+    assert math.isfinite(event["dur"]) and event["dur"] >= 0, event
+profile = Profile.load(f"{out}/profile/profile.json")
+assert len(profile.ops) > 0, "profile has no completed ops"
+for record in profile.ops:
+    gap = abs(record.attributed_ms - record.total_ms)
+    assert gap < 1e-6, (record.op, record.span_id, gap)
+diff = diff_profiles(profile, profile)
+assert not diff.regressions(), "self-diff reported regressions"
+bench = json.load(open("BENCH_profile.json"))
+assert bench["ops"], "bench json has no op summaries"
+print(f"profile smoke ok: {len(profile.ops)} ops attributed, "
+      f"{len(events)} trace events, self-diff clean")
+EOF

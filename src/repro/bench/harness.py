@@ -42,6 +42,10 @@ class SystemHandle:
     telemetry: Optional[Telemetry] = None
     """The :class:`repro.telemetry.Telemetry` bundle when built with
     ``telemetry=True``."""
+    profiler: Optional[object] = None
+    """The :class:`repro.profile.Profiler` when built with
+    ``profile=True`` (implies ``trace=True``); call
+    ``handle.profiler.analyze()`` after the workload."""
 
 
 def _maybe_trace(env: Environment, trace: bool):
@@ -51,6 +55,20 @@ def _maybe_trace(env: Environment, trace: bool):
     if env.tracer is None:
         return install_tracer(env)
     return env.tracer
+
+
+def _maybe_profile(tracer, profile: bool):
+    """Attach a critical-path profiler to an installed tracer.
+
+    Purely read-after-the-fact: the profiler holds a reference to the
+    tracer and analyzes its spans on demand, so it cannot perturb the
+    run (see :mod:`repro.profile`).
+    """
+    if not profile:
+        return None
+    from repro.profile import Profiler
+
+    return Profiler(tracer)
 
 
 def _maybe_telemetry(
@@ -115,8 +133,10 @@ def build_lambdafs(
     trace: bool = False,
     telemetry: bool = False,
     telemetry_interval_ms: float = 500.0,
+    profile: bool = False,
 ) -> SystemHandle:
-    tracer = _maybe_trace(env, trace)
+    tracer = _maybe_trace(env, trace or profile)
+    profiler = _maybe_profile(tracer, profile)
     bundle = _maybe_telemetry(env, telemetry, telemetry_interval_ms)
     config = _lambda_config(
         vcpus, deployments, seed, ndb,
@@ -153,6 +173,7 @@ def build_lambdafs(
         prewarm=lambda: fs.prewarm(1),
         tracer=tracer,
         telemetry=bundle,
+        profiler=profiler,
     )
 
 
@@ -166,8 +187,10 @@ def build_infinicache(
     trace: bool = False,
     telemetry: bool = False,
     telemetry_interval_ms: float = 500.0,
+    profile: bool = False,
 ) -> SystemHandle:
-    tracer = _maybe_trace(env, trace)
+    tracer = _maybe_trace(env, trace or profile)
+    profiler = _maybe_profile(tracer, profile)
     bundle = _maybe_telemetry(env, telemetry, telemetry_interval_ms)
     # A static fleet is sized to its resources up front: one function
     # per deployment, as many deployments as the vCPU budget fits.
@@ -203,6 +226,7 @@ def build_infinicache(
         prewarm=lambda: fs.prewarm(1),
         tracer=tracer,
         telemetry=bundle,
+        profiler=profiler,
     )
 
 

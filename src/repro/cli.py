@@ -10,6 +10,10 @@ Commands:
 * ``replay`` — replay an audit-log trace file;
 * ``telemetry`` — a telemetry-instrumented microbenchmark rendering
   the sim-time metrics dashboard (fleet size, RPC mix, cache rates);
+* ``profile`` — critical-path profiling: ``run`` a profiled
+  microbenchmark (attribution report + Perfetto/flamegraph exports),
+  ``diff`` two profile.json files stage-by-stage, ``export`` from a
+  spans dump;
 * ``experiments`` — list the experiment drivers and what they map to.
 """
 
@@ -245,6 +249,132 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _run_profiled_micro(args):
+    """Build a profiled λFS and run the standard profile workload.
+
+    One read phase (cache-dominated) plus one create-file phase
+    (store + coherence-dominated), after a TCP-connection prelude, so
+    every stage of the taxonomy shows up in the attribution.  Returns
+    ``(handle, profile)``.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.bench.harness import build_lambdafs, drive
+    from repro.core import OpType
+    from repro.metastore import NdbConfig
+    from repro.namespace.treegen import TreeSpec, generate_tree
+    from repro.sim import Environment
+    from repro.workloads import MicroBenchmark
+
+    ndb = None
+    if args.slow_store != 1.0:
+        base = NdbConfig()
+        ndb = _replace(
+            base,
+            read_service_ms=base.read_service_ms * args.slow_store,
+            write_service_ms=base.write_service_ms * args.slow_store,
+            commit_service_ms=base.commit_service_ms * args.slow_store,
+        )
+    env = Environment()
+    tree = generate_tree(TreeSpec(seed=args.seed))
+    handle = build_lambdafs(
+        env, tree,
+        deployments=args.deployments,
+        seed=args.seed,
+        ndb=ndb,
+        client_overrides={"replacement_probability": args.replacement},
+        profile=True,
+    )
+    clients = handle.make_clients(args.clients)
+    drive(env, handle.prewarm())
+    bench = MicroBenchmark(env, tree, seed=args.seed)
+    drive(env, bench.run(clients[:8], OpType.READ_FILE, 0, args.warmup))
+    drive(env, bench.run(clients, OpType.READ_FILE, args.ops, 0))
+    drive(env, bench.run(clients, OpType.CREATE_FILE, max(1, args.ops // 4), 0))
+    return handle, handle.profiler.analyze()
+
+
+def _cmd_profile(args) -> int:
+    import json
+    import os
+
+    from repro.profile import (
+        Profile,
+        diff_profiles,
+        dump_spans,
+        format_diff,
+        format_report,
+        load_spans,
+        analyze_spans,
+        write_chrome_trace,
+        write_folded_stacks,
+    )
+
+    if args.profile_command == "run":
+        handle, profile = _run_profiled_micro(args)
+        print(format_report(profile, top=args.top))
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            tracer = handle.tracer
+            paths = {
+                "profile": profile.save(os.path.join(args.out, "profile.json")),
+                "chrome": write_chrome_trace(
+                    tracer.spans.values(),
+                    os.path.join(args.out, "trace.chrome.json"),
+                ),
+                "folded": write_folded_stacks(
+                    profile, os.path.join(args.out, "stacks.folded")
+                ),
+                "spans": dump_spans(
+                    tracer.spans.values(),
+                    os.path.join(args.out, "spans.jsonl"),
+                ),
+            }
+            print("\nexports:")
+            for kind in sorted(paths):
+                print(f"  {kind:8s} {paths[kind]}")
+        if args.bench_json:
+            summary = profile.to_dict()["summary"]
+            with open(args.bench_json, "w") as fh:
+                json.dump(
+                    {
+                        "version": 1,
+                        "event_hash": handle.tracer.event_hash(),
+                        "ops": summary,
+                    },
+                    fh, indent=2, sort_keys=True,
+                )
+            print(f"\nbench json: {args.bench_json}")
+        _print_trace_summary(handle.tracer)
+        return 0
+
+    if args.profile_command == "diff":
+        before = Profile.load(args.before)
+        after = Profile.load(args.after)
+        diff = diff_profiles(
+            before, after,
+            rel_threshold=args.threshold, min_ms=args.min_ms,
+        )
+        print(format_diff(diff, verbose=args.verbose))
+        return 1 if diff.regressions() else 0
+
+    if args.profile_command == "export":
+        spans = load_spans(args.spans)
+        os.makedirs(args.out, exist_ok=True)
+        profile = analyze_spans(spans)
+        chrome = write_chrome_trace(
+            spans, os.path.join(args.out, "trace.chrome.json")
+        )
+        folded = write_folded_stacks(
+            profile, os.path.join(args.out, "stacks.folded"), by=args.by
+        )
+        print(f"chrome trace: {chrome}\nfolded stacks: {folded}")
+        print(f"({len(profile.ops)} completed op(s) attributed)")
+        return 0
+
+    raise ValueError(f"unknown profile subcommand {args.profile_command!r}")
+
+
 def _cmd_experiments(_args) -> int:
     table = [
         ("fig8a/fig8b", "Spotify workload throughput", "benchmarks/test_fig8a…,8b…"),
@@ -317,6 +447,58 @@ def build_parser() -> argparse.ArgumentParser:
                            help="render a dashboard from an existing export")
     telemetry.add_argument("--trace", action="store_true", help=trace_help)
 
+    profile = sub.add_parser(
+        "profile",
+        help="critical-path profiling: run / diff / export",
+    )
+    profile_sub = profile.add_subparsers(dest="profile_command", required=True)
+
+    profile_run = profile_sub.add_parser(
+        "run", help="profiled microbenchmark + attribution report"
+    )
+    profile_run.add_argument("--clients", type=int, default=64)
+    profile_run.add_argument("--ops", type=int, default=48,
+                             help="measured ops per client (read phase; "
+                                  "the create phase runs a quarter)")
+    profile_run.add_argument("--warmup", type=int, default=32,
+                             help="connection-prelude ops per prelude client")
+    profile_run.add_argument("--deployments", type=int, default=4)
+    profile_run.add_argument("--seed", type=int, default=0)
+    profile_run.add_argument("--replacement", type=float, default=0.05,
+                             help="HTTP-TCP replacement probability")
+    profile_run.add_argument("--slow-store", type=float, default=1.0,
+                             help="multiply store service times (regression "
+                                  "injection for diff testing)")
+    profile_run.add_argument("--top", type=int, default=10,
+                             help="rows in the top-contributors table")
+    profile_run.add_argument("--out", default=None,
+                             help="directory for profile.json, Chrome trace, "
+                                  "folded stacks, spans JSONL")
+    profile_run.add_argument("--bench-json", default=None, metavar="PATH",
+                             help="write per-op p50/p99 + stage shares JSON")
+
+    profile_diff = profile_sub.add_parser(
+        "diff", help="stage-by-stage regression diff of two profile.json"
+    )
+    profile_diff.add_argument("before", help="baseline profile.json")
+    profile_diff.add_argument("after", help="candidate profile.json")
+    profile_diff.add_argument("--threshold", type=float, default=0.25,
+                              help="relative growth flagged as regression")
+    profile_diff.add_argument("--min-ms", type=float, default=0.05,
+                              help="absolute per-op growth floor (ms)")
+    profile_diff.add_argument("--verbose", action="store_true",
+                              help="print every stage cell, not just movers")
+
+    profile_export = profile_sub.add_parser(
+        "export", help="re-render exports from a spans.jsonl dump"
+    )
+    profile_export.add_argument("spans", help="spans.jsonl from 'profile run'")
+    profile_export.add_argument("--out", required=True,
+                                help="output directory")
+    profile_export.add_argument("--by", choices=("kind", "stage"),
+                                default="kind",
+                                help="folded-stack leaf frames")
+
     sub.add_parser("experiments", help="list experiment drivers")
     return parser
 
@@ -328,6 +510,7 @@ COMMANDS = {
     "table3": _cmd_table3,
     "replay": _cmd_replay,
     "telemetry": _cmd_telemetry,
+    "profile": _cmd_profile,
     "experiments": _cmd_experiments,
 }
 

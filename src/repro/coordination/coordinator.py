@@ -199,13 +199,23 @@ class Coordinator:
         handler: Callable[[Invalidation], None],
         round_span=None,
     ) -> Generator:
+        tracer = self.env.tracer
+        member_span = None
+        if tracer is not None:
+            # One per-member publish→ACK leg: the slowest of these is
+            # the coherence round's critical path.
+            member_span = tracer.begin(
+                "coord.member", member_id, parent=round_span,
+                inv_id=inv.inv_id,
+            )
         yield self.env.timeout(self.config.publish_ms)
         # The member may have died in flight; deregistration already
         # released the pending set in that case.
         live = self._members.get(inv.deployment, {})
         if member_id not in live:
+            if tracer is not None:
+                tracer.end(member_span, delivered=False)
             return
-        tracer = self.env.tracer
         if tracer is not None:
             # From this instant, any cached copy of these paths on the
             # member is stale by protocol — emitted *before* the
@@ -217,6 +227,8 @@ class Coordinator:
             )
         handler(inv)
         yield self.env.timeout(self.config.ack_ms)
+        if tracer is not None:
+            tracer.end(member_span, delivered=True)
         self.ack(inv.inv_id, member_id)
 
 

@@ -161,19 +161,24 @@ class LambdaFSClient:
         tracer = env.tracer
         metrics = env.metrics
         attempt = 0
+        resubmit_of = None
         while True:
             attempt += 1
             request.attempt = attempt
-            connection = yield from self.vm.find_shared(deployment, self.server)
+            connection = yield from self.vm.find_shared(
+                deployment, self.server, trace_parent=op_span
+            )
             use_tcp = connection is not None and (
                 self._antithrash_active()
                 or self._rng.random() >= self.config.replacement_probability
             )
             rpc_span = None
             if tracer is not None:
+                link = {} if resubmit_of is None else {"resubmit_of": resubmit_of}
                 rpc_span = tracer.begin(
                     "rpc.tcp" if use_tcp else "rpc.http", self.id,
                     parent=op_span, attempt=attempt, deployment=deployment,
+                    **link,
                 )
                 request.trace_parent = rpc_span.span_id
             try:
@@ -197,9 +202,13 @@ class LambdaFSClient:
                     metrics.inc("rpc_retries_total", error=type(exc).__name__)
                 if tracer is not None:
                     tracer.end(rpc_span, ok=False, error=type(exc).__name__)
+                    # Resubmission linkage: the next attempt's span
+                    # carries this failed span's id as resubmit_of.
+                    resubmit_of = rpc_span.span_id
                     tracer.point(
                         "rpc.retry", self.id, parent=op_span,
                         attempt=attempt, error=type(exc).__name__,
+                        resubmit_of=resubmit_of,
                     )
                 if attempt >= self.config.max_attempts:
                     raise
@@ -209,7 +218,16 @@ class LambdaFSClient:
                     backoff = self.config.retry.delay(attempt, self._rng)
                     if metrics is not None:
                         metrics.inc("rpc_backoff_ms_total", backoff)
+                    backoff_span = None
+                    if tracer is not None:
+                        backoff_span = tracer.begin(
+                            "client.backoff", self.id, parent=op_span,
+                            attempt=attempt, backoff_ms=backoff,
+                            **self.config.retry.as_attrs(),
+                        )
                     yield env.timeout(backoff)
+                    if tracer is not None:
+                        tracer.end(backoff_span)
                 # A dropped TCP connection retries immediately: the
                 # next find_shared scans sibling servers, and the HTTP
                 # fallback kicks in if nothing is connected.

@@ -326,7 +326,16 @@ class LambdaNameNode:
                 attempt += 1
                 if attempt > self.config.txn_retries:
                     raise FsError(f"{request.op.value} on {request.path!r} kept aborting")
+                tracer = env.tracer
+                retry_span = None
+                if tracer is not None:
+                    retry_span = tracer.begin(
+                        "nn.retry_backoff", self.member_id, parent=span,
+                        attempt=attempt, op=request.op.value,
+                    )
                 yield env.timeout(2.0 * (2 ** min(attempt, 6)))
+                if tracer is not None:
+                    tracer.end(retry_span)
             except BaseException:
                 txn.abort()  # release locks on application errors
                 raise

@@ -130,9 +130,14 @@ class SubtreeProtocol:
         size = self.config.batch_size
         batches = [actions[i : i + size] for i in range(0, len(actions), size)]
         env = self.fs.env
+        # Offloaded invocations carry the leader's span id so helper-
+        # side spans (faas.queue, nn.handle, ...) attach to the client
+        # op's tree instead of becoming orphan roots.
+        trace_parent = span.span_id if span is not None else None
 
         local_request = MetadataRequest(
-            op=OpType.EXEC_BATCH, path="/", payload=batches[0]
+            op=OpType.EXEC_BATCH, path="/", payload=batches[0],
+            trace_parent=trace_parent,
         )
         jobs = [env.process(leader._exec_batch(local_request, span))]
 
@@ -147,13 +152,15 @@ class SubtreeProtocol:
             for index, batch in enumerate(batches[1:]):
                 helper = helpers[index % len(helpers)]
                 batch_request = MetadataRequest(
-                    op=OpType.EXEC_BATCH, path="/", payload=batch
+                    op=OpType.EXEC_BATCH, path="/", payload=batch,
+                    trace_parent=trace_parent,
                 )
                 jobs.append(env.process(self._offload(helper, batch_request)))
         else:
             for batch in batches[1:]:
                 batch_request = MetadataRequest(
-                    op=OpType.EXEC_BATCH, path="/", payload=batch
+                    op=OpType.EXEC_BATCH, path="/", payload=batch,
+                    trace_parent=trace_parent,
                 )
                 jobs.append(env.process(leader._exec_batch(batch_request, span)))
         yield AllOf(env, jobs)

@@ -165,7 +165,17 @@ class FunctionInstance:
         if not self.is_alive:
             raise InstanceTerminated(self.id)
         if self.state == "provisioning":
+            tracer = self.env.tracer
+            cold_span = None
+            if tracer is not None:
+                cold_span = tracer.begin(
+                    "faas.cold_wait", self.id,
+                    parent=getattr(request, "trace_parent", None),
+                    deployment=self.deployment_name, via=via,
+                )
             yield self.started
+            if tracer is not None:
+                tracer.end(cold_span, alive=self.is_alive)
             if not self.is_alive:
                 raise InstanceTerminated(self.id)
         self._enter()
@@ -392,6 +402,16 @@ class FaaSPlatform:
             self.env.metrics.inc(
                 "faas_invocations_total", deployment=deployment_name
             )
+        tracer = self.env.tracer
+        queue_span = None
+        if tracer is not None:
+            # Invoker-queue time: from arrival at the invoker until an
+            # instance is selected (includes parking on a full cluster).
+            queue_span = tracer.begin(
+                "faas.queue", deployment_name,
+                parent=getattr(request, "trace_parent", None),
+                deployment=deployment_name,
+            )
         instance: Optional[FunctionInstance] = None
         while instance is None:
             instance = deployment.pick_available()
@@ -438,6 +458,8 @@ class FaaSPlatform:
             # deployments' instances may age past the eviction guard.
             yield deployment.change_event() | self.env.timeout(100.0)
 
+        if tracer is not None:
+            tracer.end(queue_span, instance=instance.id)
         instance.http_in_flight += 1
         try:
             response = yield from instance.serve(request, via="http")

@@ -132,10 +132,18 @@ class LockManager:
                              epoch=getattr(owner, "_lock_epoch", None))
             return
 
+        wait_span = None
         if tracer is not None:
-            tracer.point("lock.wait", repr(owner), key=repr(key),
-                         mode=mode.value,
-                         epoch=getattr(owner, "_lock_epoch", None))
+            # A *span*, not a point: its duration is the lock-wait
+            # stage on the critical path (begin at enqueue, end at
+            # grant or timeout).  The discipline checker consumes the
+            # begin edge exactly like the old point.
+            wait_span = tracer.begin(
+                "lock.wait", repr(owner),
+                parent=getattr(owner, "_trace_span", None),
+                key=repr(key), mode=mode.value,
+                epoch=getattr(owner, "_lock_epoch", None),
+            )
         metrics = self.env.metrics
         if metrics is not None:
             metrics.inc("lock_waits_total", mode=mode.value)
@@ -154,9 +162,12 @@ class LockManager:
             if metrics is not None:
                 metrics.inc("lock_wait_timeouts_total")
             if tracer is not None:
+                tracer.end(wait_span, granted=False, budget_ms=budget)
                 tracer.point("lock.wait_timeout", repr(owner), key=repr(key),
                              budget_ms=budget)
             raise LockTimeout(f"lock wait on {key!r} exceeded {budget} ms")
+        if tracer is not None:
+            tracer.end(wait_span, granted=True)
         return
 
     def release(self, owner: Any, key: Any) -> None:

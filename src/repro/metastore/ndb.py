@@ -145,7 +145,16 @@ class NdbStore:
                 attempt += 1
                 if attempt > retries:
                     raise
+                tracer = self.env.tracer
+                retry_span = None
+                if tracer is not None:
+                    retry_span = tracer.begin(
+                        "txn.backoff", repr(txn), parent=trace_parent,
+                        attempt=attempt, label=label,
+                    )
                 yield self.env.timeout(backoff_ms * (2 ** (attempt - 1)))
+                if tracer is not None:
+                    tracer.end(retry_span)
             except BaseException:
                 # Application errors (NotFound, AlreadyExists, ...)
                 # must release the transaction's locks on the way out
@@ -329,6 +338,13 @@ class Transaction:
         """Apply staged writes and release all locks."""
         self._check_open()
         if self._staged:
+            tracer = self.store.env.tracer
+            commit_span = None
+            if tracer is not None:
+                commit_span = tracer.begin(
+                    "txn.commit", repr(self), parent=self._trace_span,
+                    rows=len(self._staged),
+                )
             yield from self.store._service_batch(
                 self._staged.keys(), self.store.config.write_service_ms
             )
@@ -336,6 +352,8 @@ class Transaction:
                 self.store._shard_of(("__commit__", self.id)),
                 self.store.config.commit_service_ms,
             )
+            if tracer is not None:
+                tracer.end(commit_span)
             for key, value in self._staged.items():
                 self.store._apply_write(key, value)
             self.store.stats.writes += len(self._staged)

@@ -1,0 +1,78 @@
+"""Critical-path profiling: per-op latency attribution over traces.
+
+Consumes the span trees recorded by :mod:`repro.trace` and answers
+*why* an operation's latency is what it is — splitting every completed
+client op's end-to-end time across a fixed stage taxonomy (client
+queue/backoff, HTTP gateway, invoker queue, cold start, TCP transit,
+NameNode work, lock wait, store service, coherence round, straggler
+resubmission) along the **blocking critical path** through concurrent
+children::
+
+    from repro.bench.harness import build_lambdafs
+    handle = build_lambdafs(env, tree, profile=True)   # implies trace
+    ... run a workload ...
+    profile = handle.profiler.analyze()
+    print(profile.stage_shares("read file"))
+
+Exports: Chrome trace-event JSON (Perfetto waterfalls) and folded
+flamegraph stacks.  ``repro profile run|diff|export`` wires the whole
+flow (run → report → export → run-to-run regression diff) into the
+CLI.  See ``docs/profiling.md``.
+
+The profiler only reads spans after the fact — it never schedules
+events, so profiling cannot perturb the simulation or its
+determinism hash.
+"""
+
+from repro.profile.critical_path import (
+    OpProfile,
+    Profile,
+    Profiler,
+    Segment,
+    analyze_spans,
+    analyze_trace,
+    attribute_op,
+)
+from repro.profile.diff import (
+    OpDelta,
+    ProfileDiff,
+    StageDelta,
+    diff_profiles,
+    format_diff,
+)
+from repro.profile.export import (
+    chrome_trace_events,
+    dump_spans,
+    folded_stacks,
+    load_spans,
+    write_chrome_trace,
+    write_folded_stacks,
+)
+from repro.profile.report import format_report
+from repro.profile.stages import STAGES, describe, is_failed_attempt, stage_of
+
+__all__ = [
+    "OpDelta",
+    "OpProfile",
+    "Profile",
+    "ProfileDiff",
+    "Profiler",
+    "STAGES",
+    "Segment",
+    "StageDelta",
+    "analyze_spans",
+    "analyze_trace",
+    "attribute_op",
+    "chrome_trace_events",
+    "describe",
+    "diff_profiles",
+    "dump_spans",
+    "folded_stacks",
+    "format_diff",
+    "format_report",
+    "is_failed_attempt",
+    "load_spans",
+    "stage_of",
+    "write_chrome_trace",
+    "write_folded_stacks",
+]

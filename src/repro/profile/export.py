@@ -1,0 +1,166 @@
+"""Profile exporters: Chrome trace-event JSON, folded flamegraph
+stacks, and a spans JSONL interchange format.
+
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the
+  Trace Event Format consumed by Perfetto (ui.perfetto.dev) and
+  ``chrome://tracing``: one complete event (``ph: "X"``) per closed
+  span, one named track per actor, timestamps in microseconds.
+* :func:`folded_stacks` — ``a;b;c <weight>`` lines for
+  ``flamegraph.pl`` / speedscope, weighted by critical-path self time
+  in microseconds (so the flame's width is *blocking* time, not the
+  double-counted sum of overlapping children).
+* :func:`dump_spans` / :func:`load_spans` — JSONL round-trip of raw
+  spans so ``repro profile export`` can re-render a finished run
+  without keeping the simulation alive.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.profile.critical_path import Profile
+from repro.trace.tracer import Span
+
+
+def _sanitize(value: Any) -> Any:
+    """Force attr values into JSON-clean scalars/containers."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _sanitize(item) for key, item in value.items()}
+    return repr(value)
+
+
+# -- Chrome trace-event JSON --------------------------------------------------
+
+def chrome_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Trace-event dicts (metadata + complete events), Perfetto-ready.
+
+    Every event's ``ts``/``dur`` is finite and non-negative; open
+    spans are skipped (they have no defensible duration).  Actors map
+    to one track (tid) each, named via ``thread_name`` metadata.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in sorted(
+        spans, key=lambda s: (s.start_ms, s.span_id)
+    ):
+        if span.end_ms is None:
+            continue
+        if not (math.isfinite(span.start_ms) and math.isfinite(span.end_ms)):
+            continue
+        tid = tids.get(span.actor)
+        if tid is None:
+            tid = tids[span.actor] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+                "args": {"name": span.actor},
+            })
+        ts_us = max(0.0, span.start_ms * 1000.0)
+        dur_us = max(0.0, (span.end_ms - span.start_ms) * 1000.0)
+        args = {str(key): _sanitize(value) for key, value in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "ph": "X", "name": span.kind, "cat": span.kind.split(".")[0],
+            "pid": 1, "tid": tid, "ts": ts_us, "dur": dur_us, "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> str:
+    """Write a ``{"traceEvents": [...]}`` JSON file; returns ``path``."""
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+# -- folded flamegraph stacks -------------------------------------------------
+
+def folded_stacks(profile: Profile, by: str = "kind") -> str:
+    """Folded-stack text weighted by critical-path self time (µs).
+
+    ``by="kind"`` stacks span kinds (``client.op;rpc.tcp;nn.handle``);
+    ``by="stage"`` appends the stage as the leaf frame so per-stage
+    width is readable straight off the flame.  Zero-weight stacks are
+    dropped (flamegraph.pl requires positive integer counts).
+    """
+    if by not in ("kind", "stage"):
+        raise ValueError(f"by must be 'kind' or 'stage', not {by!r}")
+    weights: Dict[str, int] = {}
+    for op in profile.ops:
+        for segment in op.segments:
+            frames = [f"{op.op}"] + list(segment.stack)
+            if by == "stage":
+                frames.append(segment.stage)
+            key = ";".join(frame.replace(";", "_") for frame in frames)
+            weights[key] = weights.get(key, 0) + int(
+                round(segment.duration_ms * 1000.0)
+            )
+    lines = [
+        f"{stack} {weight}"
+        for stack, weight in sorted(weights.items())
+        if weight > 0
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_folded_stacks(profile: Profile, path: str, by: str = "kind") -> str:
+    with open(path, "w") as handle:
+        handle.write(folded_stacks(profile, by=by))
+    return path
+
+
+# -- spans JSONL interchange ---------------------------------------------------
+
+def dump_spans(spans: Iterable[Span], path: str) -> str:
+    """One span per JSONL line (attrs sanitized); returns ``path``."""
+    with open(path, "w") as handle:
+        for span in sorted(spans, key=lambda s: s.span_id):
+            handle.write(json.dumps({
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "kind": span.kind,
+                "actor": span.actor,
+                "start_ms": span.start_ms,
+                "end_ms": span.end_ms,
+                "attrs": {
+                    str(key): _sanitize(value)
+                    for key, value in span.attrs.items()
+                },
+            }) + "\n")
+    return path
+
+
+def load_spans(path: str) -> List[Span]:
+    """Rebuild :class:`Span` objects from a :func:`dump_spans` file."""
+    spans: List[Span] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            span = Span(
+                span_id=data["span_id"],
+                parent_id=data.get("parent_id"),
+                kind=data["kind"],
+                actor=data.get("actor", ""),
+                start_ms=data["start_ms"],
+                attrs=data.get("attrs", {}),
+            )
+            end_ms: Optional[float] = data.get("end_ms")
+            span.end_ms = end_ms
+            spans.append(span)
+    return spans

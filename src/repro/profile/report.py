@@ -1,0 +1,70 @@
+"""Text reporting for profiles: stage tables and top contributors."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.report import tabulate
+from repro.metrics.recorder import percentile
+from repro.profile.critical_path import Profile
+from repro.profile.stages import STAGES, describe
+
+
+def format_report(profile: Profile, top: int = 10) -> str:
+    """The ``repro profile run`` report: attribution at a glance.
+
+    Three tables: per-op-type latency percentiles with their dominant
+    stage, per-op-type stage shares (the critical-path breakdown), and
+    the top (op, stage) latency contributors across the run.
+    """
+    if not profile.ops:
+        return "no completed client operations in trace"
+    lines: List[str] = []
+    grouped = profile.by_op_type()
+
+    rows = []
+    for op in sorted(grouped):
+        totals = [record.total_ms for record in grouped[op]]
+        shares = profile.stage_shares(op)
+        dominant = max(shares, key=lambda stage: shares[stage])
+        rows.append([
+            op, len(totals),
+            f"{percentile(totals, 50.0):.2f}",
+            f"{percentile(totals, 99.0):.2f}",
+            f"{dominant} ({shares[dominant] * 100:.0f}%)",
+        ])
+    lines.append("critical-path latency by op type")
+    lines.append(tabulate(
+        ["op", "count", "p50 ms", "p99 ms", "dominant stage"], rows,
+    ))
+
+    active = [
+        stage for stage in STAGES
+        if any(profile.stage_totals(op).get(stage, 0.0) > 0 for op in grouped)
+    ]
+    share_rows = []
+    for op in sorted(grouped):
+        shares = profile.stage_shares(op)
+        share_rows.append(
+            [op] + [f"{shares.get(stage, 0.0) * 100:.1f}%" for stage in active]
+        )
+    lines.append("")
+    lines.append("stage shares of attributed time")
+    lines.append(tabulate(["op"] + list(active), share_rows))
+
+    lines.append("")
+    lines.append("top latency contributors")
+    lines.append(tabulate(
+        ["op", "stage", "total ms", "share", "what it is"],
+        [
+            [op, stage, f"{ms:.1f}", f"{share * 100:.1f}%", describe(stage)]
+            for op, stage, ms, share in profile.top_contributors(top)
+        ],
+    ))
+    if profile.open_roots:
+        lines.append("")
+        lines.append(
+            f"note: {profile.open_roots} operation(s) never completed "
+            "and were excluded"
+        )
+    return "\n".join(lines)

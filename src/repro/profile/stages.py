@@ -1,0 +1,131 @@
+"""The critical-path stage taxonomy.
+
+Every instant of a client operation's end-to-end latency is
+attributed to exactly one **stage** — the fixed vocabulary the paper's
+latency story decomposes into (§3.2 TCP-vs-HTTP split, cold starts,
+Algorithm 1 INV/ACK rounds, NDB lock waits, Appendix B stragglers).
+The mapping is from span *kind* to stage; time a span spends blocked
+on a child belongs to the child's stage, computed by the critical-path
+walk in :mod:`repro.profile.critical_path`.
+
+Stages (in reporting order):
+
+``client_queue``
+    Client-side time outside any RPC attempt: connection lookup
+    (including the Figure 4 sibling-server hop), retry backoff sleeps,
+    straggler bookkeeping.
+``http_gateway``
+    HTTP transit through the FaaS API gateway — the 8–20 ms one-way
+    penalty of §3.2 — i.e. ``rpc.http`` time not spent in the invoker,
+    a cold start, or the NameNode itself.
+``invoker_queue``
+    Waiting inside the platform invoker for a serving instance
+    (concurrency-level saturation, full-cluster parking, eviction).
+``cold_start``
+    A request parked on a provisioning container (boot + app init).
+``tcp_transit``
+    Direct-TCP wire time (the 1–2 ms path).
+``namenode``
+    NameNode application work: deserialize/dispatch CPU, cache
+    lookups, result-cache replay.
+``lock_wait``
+    Blocked acquiring metastore row locks (queued behind holders).
+``store``
+    Metadata-store service time: shard queueing + row service + RTT +
+    commit flush, and backoff between aborted transaction attempts.
+``coherence``
+    The INV/ACK round of Algorithm 1 — gated on the slowest ACK.
+``resubmit``
+    Entire failed RPC attempts that were abandoned and resubmitted
+    (stragglers, dropped connections, terminated instances, HTTP
+    timeouts).  The wasted attempt is attributed wholesale, not
+    decomposed, because none of it contributed to the answer.
+``other``
+    Unattributed residue (unknown span kinds); the analyzer asserts
+    this stays a sliver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trace.tracer import Span
+
+#: Reporting order; every attribution dict uses exactly these keys.
+STAGES = (
+    "client_queue",
+    "http_gateway",
+    "invoker_queue",
+    "cold_start",
+    "tcp_transit",
+    "namenode",
+    "lock_wait",
+    "store",
+    "coherence",
+    "resubmit",
+    "other",
+)
+
+#: Span kind -> stage of that span's *self time* (time inside the span
+#: not covered by any critical-path child).
+KIND_TO_STAGE = {
+    "client.op": "client_queue",
+    "client.backoff": "client_queue",
+    "rpc.sibling_hop": "client_queue",
+    "rpc.http": "http_gateway",
+    "rpc.tcp": "tcp_transit",
+    "faas.queue": "invoker_queue",
+    "faas.cold_wait": "cold_start",
+    "nn.handle": "namenode",
+    "nn.result_cache": "namenode",
+    "nn.retry_backoff": "store",
+    "txn": "store",
+    "txn.commit": "store",
+    "txn.backoff": "store",
+    "lock.wait": "lock_wait",
+    "coord.inv": "coherence",
+    "coord.member": "coherence",
+}
+
+#: Root spans the analyzer profiles (one per client operation).
+ROOT_KIND = "client.op"
+
+#: Kinds whose failure means the attempt was abandoned and retried.
+_RPC_KINDS = ("rpc.tcp", "rpc.http")
+
+
+def is_failed_attempt(span: Span) -> bool:
+    """True for an RPC attempt that errored and was resubmitted.
+
+    Failed attempts carry an ``error`` attr (exception type name) set
+    by the client's retry loop; a clean-but-``ok=False`` response is a
+    served application error, not a resubmission.
+    """
+    return span.kind in _RPC_KINDS and "error" in span.attrs
+
+
+def stage_of(span: Span) -> str:
+    """The stage charged for ``span``'s self time."""
+    if is_failed_attempt(span):
+        return "resubmit"
+    return KIND_TO_STAGE.get(span.kind, "other")
+
+
+def describe(stage: str) -> Optional[str]:
+    """One-line reporting label for a stage."""
+    return _DESCRIPTIONS.get(stage)
+
+
+_DESCRIPTIONS = {
+    "client_queue": "client-side queueing, backoff, connection lookup",
+    "http_gateway": "HTTP gateway transit (the 8-20 ms path)",
+    "invoker_queue": "waiting in the platform invoker for an instance",
+    "cold_start": "parked on a provisioning container",
+    "tcp_transit": "direct TCP wire time (the 1-2 ms path)",
+    "namenode": "NameNode CPU + metadata-cache work",
+    "lock_wait": "blocked on metastore row locks",
+    "store": "metadata-store service, RTT, commit, txn retry backoff",
+    "coherence": "INV/ACK coherence round (slowest ACK gates)",
+    "resubmit": "abandoned attempts resubmitted elsewhere",
+    "other": "unattributed residue",
+}

@@ -182,7 +182,12 @@ class ClientVM:
             self.servers.append(TcpServer(self.env, self, self.latency))
         return self.servers[index]
 
-    def find_shared(self, deployment: str, own_server: TcpServer) -> Generator:
+    def find_shared(
+        self,
+        deployment: str,
+        own_server: TcpServer,
+        trace_parent: Any = None,
+    ) -> Generator:
         """Connection-sharing lookup (Figure 4).
 
         Checks the client's own server first; then the sibling servers
@@ -202,6 +207,16 @@ class ClientVM:
             if connection is not None:
                 if metrics is not None:
                     metrics.inc("tcp_connection_reuse_total", source="sibling")
+                tracer = self.env.tracer
+                hop_span = None
+                if tracer is not None:
+                    hop_span = tracer.begin(
+                        "rpc.sibling_hop", f"vm{self.id}",
+                        parent=trace_parent, deployment=deployment,
+                        server=server.id,
+                    )
                 yield self.env.timeout(self.latency.intra_vm())
+                if tracer is not None:
+                    tracer.end(hop_span)
                 return connection
         return None

@@ -19,6 +19,15 @@ class RetryPolicy:
     jitter: float = 0.5
     max_attempts: int = 8
 
+    def as_attrs(self) -> dict:
+        """Span-attribute summary of this policy, so backoff spans in
+        a trace carry enough context to be read without the config."""
+        return {
+            "policy_base_ms": self.base_ms,
+            "policy_factor": self.factor,
+            "policy_max_ms": self.max_ms,
+        }
+
     def delay(self, attempt: int, rng: random.Random) -> float:
         """Backoff before retry number ``attempt`` (1-based)."""
         if attempt < 1:

@@ -182,10 +182,12 @@ class CoherenceChecker(Checker):
 class LockDisciplineChecker(Checker):
     """Strict-2PL discipline over the metastore row locks.
 
-    Consumes ``lock.acquire`` / ``lock.release`` / ``lock.wait``
-    points from :class:`~repro.metastore.locks.LockManager` and
-    ``txn.end`` points from :class:`~repro.metastore.ndb.Transaction`.
-    Row keys are compared by their ``repr`` — the same canonical order
+    Consumes ``lock.acquire`` / ``lock.release`` points and
+    ``lock.wait`` *spans* (the ordering rule fires at the begin edge —
+    the instant blocking starts) from
+    :class:`~repro.metastore.locks.LockManager`, plus ``txn.end``
+    points from :class:`~repro.metastore.ndb.Transaction`.  Row keys
+    are compared by their ``repr`` — the same canonical order
     ``Transaction.lock_many`` sorts by.
     """
 
@@ -207,15 +209,17 @@ class LockDisciplineChecker(Checker):
         self.releases = 0
 
     def observe(self, phase: str, span: Span) -> None:
+        kind = span.kind
+        if kind == "lock.wait":
+            if phase == "begin":
+                self._on_wait(span)
+            return
         if phase != "point":
             return
-        kind = span.kind
         if kind == "lock.acquire":
             self._on_acquire(span)
         elif kind == "lock.release":
             self._on_release(span)
-        elif kind == "lock.wait":
-            self._on_wait(span)
         elif kind == "txn.end":
             self._on_txn_end(span)
 

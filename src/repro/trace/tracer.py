@@ -253,6 +253,16 @@ class Tracer:
             if span.kind == kind and not span.open
         ]
 
+    def open_spans(self) -> List[Span]:
+        """Retained spans never closed — instrumentation leaks.
+
+        A span left open at run end means some ``begin()`` lacks a
+        matching ``end()`` on one code path (usually an exception
+        path); the profiler excludes such trees, so the leak count is
+        surfaced in :meth:`summary` to keep them visible.
+        """
+        return [span for span in self.spans.values() if span.open]
+
     def summary(self) -> Dict[str, Any]:
         """One-glance report used by the CLI and bench drivers."""
         return {
@@ -261,5 +271,6 @@ class Tracer:
             "spans": self.started,
             "points": self.points,
             "dropped": self.dropped,
+            "open_spans": len(self.open_spans()),
             "violations": len(self.violations()),
         }

@@ -1,0 +1,124 @@
+"""Exporters: Chrome trace-event JSON, folded stacks, spans JSONL."""
+
+import json
+import math
+
+import pytest
+
+from repro.profile import (
+    analyze_spans,
+    chrome_trace_events,
+    dump_spans,
+    folded_stacks,
+    load_spans,
+    write_chrome_trace,
+    write_folded_stacks,
+)
+from repro.trace.tracer import Span
+
+pytestmark = pytest.mark.profile
+
+
+def _span(span_id, parent_id, kind, start, end, actor="a", **attrs):
+    span = Span(span_id, parent_id, kind, actor, start, attrs)
+    span.end_ms = end
+    return span
+
+
+def _sample_spans():
+    return [
+        _span(1, None, "client.op", 0.0, 10.0, actor="client1",
+              op="stat", ok=True, via="tcp"),
+        _span(2, 1, "rpc.tcp", 1.0, 9.0, actor="client1"),
+        _span(3, 2, "nn.handle", 2.0, 8.0, actor="d0#1"),
+        _span(4, 3, "txn", 3.0, 7.0, actor="<Txn 1>"),
+    ]
+
+
+def test_chrome_events_are_finite_and_non_negative():
+    spans = _sample_spans() + [
+        Span(5, 1, "rpc.http", "client1", 9.5, {}),  # open — skipped
+    ]
+    events = chrome_trace_events(spans)
+    complete = [event for event in events if event["ph"] == "X"]
+    assert len(complete) == 4  # the open span is skipped
+    for event in complete:
+        assert math.isfinite(event["ts"]) and event["ts"] >= 0
+        assert math.isfinite(event["dur"]) and event["dur"] >= 0
+        assert event["pid"] == 1
+    # One named track (thread_name metadata event) per actor.
+    names = {
+        event["args"]["name"]
+        for event in events if event["ph"] == "M"
+    }
+    assert names == {"client1", "d0#1", "<Txn 1>"}
+    # Parent linkage is preserved in args for trace post-processing.
+    nn = next(e for e in complete if e["name"] == "nn.handle")
+    assert nn["args"]["parent_id"] == 2
+    assert nn["cat"] == "nn"
+
+
+def test_chrome_events_sanitize_exotic_attrs():
+    spans = [
+        _span(1, None, "client.op", 0.0, 1.0,
+              op="stat", weird=object(), nan=float("nan"),
+              nested={"k": (1, 2)}),
+    ]
+    payload = json.dumps({"traceEvents": chrome_trace_events(spans)})
+    parsed = json.loads(payload)
+    args = parsed["traceEvents"][-1]["args"]
+    assert isinstance(args["weird"], str)
+    assert args["nan"] == "nan"
+    assert args["nested"] == {"k": [1, 2]}
+
+
+def test_write_chrome_trace_parses(tmp_path):
+    path = write_chrome_trace(_sample_spans(), str(tmp_path / "t.json"))
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["displayTimeUnit"] == "ms"
+    assert any(event["ph"] == "X" for event in data["traceEvents"])
+
+
+def test_folded_stacks_format_and_weights():
+    profile = analyze_spans(_sample_spans())
+    text = folded_stacks(profile)
+    assert text.endswith("\n")
+    lines = text.strip().splitlines()
+    assert lines
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert int(weight) > 0
+        assert stack.startswith("stat;client.op")
+    # The deepest chain reflects the critical path.
+    assert any("client.op;rpc.tcp;nn.handle;txn" in line for line in lines)
+    by_stage = folded_stacks(profile, by="stage")
+    assert any(line.rsplit(" ", 1)[0].endswith(";store")
+               for line in by_stage.splitlines())
+    with pytest.raises(ValueError):
+        folded_stacks(profile, by="actor")
+
+
+def test_write_folded_stacks(tmp_path):
+    profile = analyze_spans(_sample_spans())
+    path = write_folded_stacks(profile, str(tmp_path / "s.folded"))
+    with open(path) as handle:
+        assert handle.read() == folded_stacks(profile)
+
+
+def test_spans_jsonl_round_trip(tmp_path):
+    original = _sample_spans() + [
+        Span(9, None, "client.op", "client2", 11.0, {"op": "ls"}),  # open
+    ]
+    path = dump_spans(original, str(tmp_path / "spans.jsonl"))
+    loaded = load_spans(path)
+    assert len(loaded) == len(original)
+    by_id = {span.span_id: span for span in loaded}
+    assert by_id[9].open
+    assert by_id[3].parent_id == 2
+    assert by_id[3].start_ms == 2.0 and by_id[3].end_ms == 8.0
+    # Analysis on the reloaded spans matches analysis on the originals.
+    before = analyze_spans(original)
+    after = analyze_spans(loaded)
+    assert [op.stages for op in after.ops] == [op.stages for op in before.ops]
+    assert after.open_roots == before.open_roots == 1

@@ -143,6 +143,46 @@ def test_summary_shape():
     summary = tracer.summary()
     assert set(summary) == {
         "event_hash", "events_hashed", "spans", "points", "dropped",
-        "violations",
+        "open_spans", "violations",
     }
     assert summary["spans"] == 1 and summary["violations"] == 0
+    assert summary["open_spans"] == 0
+
+
+def test_open_spans_surfaces_leaks():
+    env = Environment()
+    tracer = Tracer(env)
+    leaked = tracer.begin("x", "a")
+    closed = tracer.begin("y", "a")
+    tracer.end(closed)
+    assert tracer.open_spans() == [leaked]
+    assert tracer.summary()["open_spans"] == 1
+    tracer.end(leaked)
+    assert tracer.summary()["open_spans"] == 0
+
+
+def test_retention_cap_drops_are_safe():
+    """Spans past the cap are dropped from storage, but ending them,
+    parenting children on them, and walking trees must not raise."""
+    env = Environment()
+    tracer = Tracer(env, max_spans=2)
+    kept_a = tracer.begin("a", "x")
+    kept_b = tracer.begin("b", "x", parent=kept_a)
+    dropped = tracer.begin("c", "x", parent=kept_b)  # over the cap
+    assert tracer.dropped == 1
+    assert dropped.span_id not in tracer.spans
+    # end() on a dropped span is a plain no-surprise close.
+    tracer.end(dropped, ok=True)
+    assert not dropped.open and dropped.attrs["ok"] is True
+    # A child whose parent was dropped still records its parent_id...
+    orphan = tracer.begin("d", "x", parent=dropped)
+    assert orphan.parent_id == dropped.span_id
+    # ...and tree()/children()/render_tree() on missing ids are empty,
+    # not KeyErrors.
+    assert tracer.children(dropped) == []
+    assert tracer.tree(dropped.span_id) == []
+    assert tracer.render_tree(dropped.span_id) == ""
+    tracer.end(kept_b)
+    tracer.end(kept_a)
+    # Dropped spans do not count as open leaks (they are not retained).
+    assert tracer.summary()["open_spans"] == 0
