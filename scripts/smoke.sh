@@ -69,3 +69,11 @@ assert bench["ops"], "bench json has no op summaries"
 print(f"profile smoke ok: {len(profile.ops)} ops attributed, "
       f"{len(events)} trace events, self-diff clean")
 EOF
+
+# Chaos smoke: one fast fault scenario end-to-end under load — the
+# engine injects, the invariant/liveness/SLO verifier must pass.
+python -m repro chaos run ack-loss --clients 12 --window 4000 \
+    --drain 5000 > "$out/chaos.txt"
+grep -q "verifier: PASS" "$out/chaos.txt"
+grep -q "fault log:" "$out/chaos.txt"
+echo "chaos smoke ok: $(head -1 "$out/chaos.txt")"

@@ -1,0 +1,219 @@
+"""Run chaos scenarios against a full λFS under a live workload.
+
+One :func:`run_scenario` call builds a traced + telemetered system,
+prewarms two NameNodes per deployment (so INV rounds always have a
+remote member and ACK faults have something to bite), establishes TCP
+connections with a short read prelude, starts the
+:class:`~repro.chaos.engine.ChaosEngine` on the scenario, and drives
+closed-loop clients issuing reads plus a slice of writes straight
+through the fault window and the recovery window.  Clients catch only
+the *typed* RPC errors (``ConnectionDropped`` / ``InstanceTerminated``
+/ ``RequestTimeout``) — anything else propagates and fails the run.
+
+The run ends at ``faults-clear + SLO window + drain`` at the latest;
+an op still in flight at that point stays an *open* ``client.op``
+span, which is exactly what the :class:`~repro.chaos.verifier
+.ChaosVerifier` liveness gate looks for.
+
+:func:`run_matrix` sweeps a list of scenarios (default: the regression
+:data:`~repro.chaos.scenarios.MATRIX`) in fresh environments and
+returns per-scenario results for ``repro chaos matrix``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.bench.harness import build_lambdafs, drive
+from repro.core import OpType
+from repro.core.client import RequestTimeout
+from repro.faas.platform import InstanceTerminated
+from repro.namespace.treegen import TreeSpec, generate_tree
+from repro.rpc.connections import ConnectionDropped
+from repro.sim import AllOf, AnyOf, Environment, RngStreams
+from repro.workloads import MicroBenchmark
+
+from repro.chaos.engine import ChaosEngine, install_chaos
+from repro.chaos.scenario import Scenario
+from repro.chaos.verifier import ChaosVerifier, RecoverySLO, VerifierReport
+
+#: Typed errors a chaos client absorbs and retries past.
+RECOVERABLE_ERRORS = (ConnectionDropped, InstanceTerminated, RequestTimeout)
+
+
+@dataclass(frozen=True)
+class ChaosRunConfig:
+    """Workload + system shape for one chaos run."""
+
+    seed: int = 0
+    clients: int = 24
+    deployments: int = 4
+    vcpus: float = 512.0
+    instances_per_deployment: int = 2
+    """Prewarm depth; ≥2 keeps a remote INV target alive per deployment."""
+    write_fraction: float = 0.15
+    """Slice of ops that are metadata writes (drive INV rounds)."""
+    think_ms: float = 40.0
+    """Mean closed-loop client think time between ops."""
+    replacement_probability: float = 0.02
+    """Client FaaS re-invoke probability (keeps the HTTP path warm)."""
+    telemetry_interval_ms: float = 250.0
+    prelude_ops: int = 12
+    """Per-client warm-up reads before the scenario starts (establishes
+    TCP connections and populates caches; excluded from the SLO
+    baseline, which starts at the engine epoch)."""
+    drain_ms: float = 8_000.0
+    """Grace beyond the SLO window before the run is cut off; ops
+    still in flight then are hung by definition."""
+    tree: TreeSpec = field(default_factory=lambda: TreeSpec(depth=3))
+    slo: RecoverySLO = field(default_factory=RecoverySLO)
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    report: VerifierReport
+    engine: ChaosEngine
+    ops_ok: int
+    ops_failed: int
+    errors: Dict[str, int]
+    duration_ms: float
+    event_hash: str
+    log_hash: str
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+    def summary(self) -> str:
+        errors = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.errors.items())
+        ) or "none"
+        return (
+            f"{self.scenario.name}: {'PASS' if self.passed else 'FAIL'} "
+            f"ok={self.ops_ok} failed={self.ops_failed} "
+            f"errors=[{errors}] t={self.duration_ms:.0f}ms "
+            f"events={self.event_hash[:12]} faults={self.log_hash[:12]}"
+        )
+
+
+def _client_loop(
+    env: Environment,
+    client,
+    paths: Sequence[str],
+    rng,
+    issue_until: float,
+    config: ChaosRunConfig,
+    counts: Dict[str, int],
+    errors: Dict[str, int],
+) -> Generator:
+    while env.now < issue_until:
+        path = paths[rng.randrange(len(paths))]
+        try:
+            if rng.random() < config.write_fraction:
+                response = yield from client.set_permission(path, 0o644)
+            else:
+                response = yield from client.read_file(path)
+            counts["ok" if response.ok else "failed"] += 1
+        except RECOVERABLE_ERRORS as exc:
+            counts["failed"] += 1
+            name = type(exc).__name__
+            errors[name] = errors.get(name, 0) + 1
+        if config.think_ms > 0:
+            yield env.timeout(
+                rng.uniform(0.5 * config.think_ms, 1.5 * config.think_ms)
+            )
+
+
+def run_scenario(
+    scenario: Scenario,
+    config: Optional[ChaosRunConfig] = None,
+) -> ChaosRunResult:
+    """Build a fresh system, run ``scenario`` under load, verify."""
+    config = config or ChaosRunConfig()
+    env = Environment()
+    tree = generate_tree(replace(config.tree, seed=config.seed))
+    handle = build_lambdafs(
+        env,
+        tree,
+        vcpus=config.vcpus,
+        deployments=config.deployments,
+        seed=config.seed,
+        client_overrides={
+            "replacement_probability": config.replacement_probability,
+        },
+        trace=True,
+        telemetry=True,
+        telemetry_interval_ms=config.telemetry_interval_ms,
+    )
+    fs = handle.system
+    clients = handle.make_clients(config.clients)
+    drive(env, fs.prewarm(config.instances_per_deployment))
+    if config.prelude_ops > 0:
+        bench = MicroBenchmark(env, tree, seed=config.seed)
+        drive(
+            env,
+            bench.run(clients, OpType.READ_FILE, 0, config.prelude_ops),
+        )
+
+    engine = install_chaos(env, system=fs, seed=config.seed)
+    engine.start(scenario)
+    epoch = env.now
+    clear = epoch + scenario.clear_ms
+    issue_until = clear + config.slo.window_ms
+    deadline = issue_until + config.drain_ms
+
+    rngs = RngStreams(config.seed)
+    counts = {"ok": 0, "failed": 0}
+    errors: Dict[str, int] = {}
+    workers = [
+        env.process(_client_loop(
+            env, client, tree.files, rngs.stream(f"chaos-client:{index}"),
+            issue_until, config, counts, errors,
+        ))
+        for index, client in enumerate(clients)
+    ]
+    # Stop at the deadline even if some op hangs forever — a hung op
+    # must not hang the harness, it must show up in the verifier.
+    done = AllOf(env, workers)
+    cutoff = env.timeout(deadline - env.now)
+    drive(env, _await_any(env, done, cutoff))
+
+    engine.stop()
+    if handle.telemetry is not None:
+        handle.telemetry.stop()
+    verifier = ChaosVerifier(
+        tracer=handle.tracer,
+        timeseries=(
+            handle.telemetry.timeseries if handle.telemetry is not None else None
+        ),
+        engine=engine,
+        slo=config.slo,
+    )
+    report = verifier.verify()
+    return ChaosRunResult(
+        scenario=scenario,
+        report=report,
+        engine=engine,
+        ops_ok=counts["ok"],
+        ops_failed=counts["failed"],
+        errors=errors,
+        duration_ms=env.now,
+        event_hash=handle.tracer.event_hash(),
+        log_hash=engine.log_hash(),
+    )
+
+
+def _await_any(env: Environment, *events) -> Generator:
+    yield AnyOf(env, list(events))
+
+
+def run_matrix(
+    scenarios: Sequence[Scenario],
+    config: Optional[ChaosRunConfig] = None,
+) -> List[ChaosRunResult]:
+    """Run each scenario in a fresh environment; collect results."""
+    return [run_scenario(scenario, config) for scenario in scenarios]

@@ -1,0 +1,156 @@
+"""Built-in chaos scenarios and the regression matrix.
+
+Every scenario follows the same shape: ~1.5 s of steady state (the
+verifier's SLO baseline), a fault window of a few seconds, then
+recovery.  Times are relative to engine start, after system prewarm
+and the TCP-connection prelude — see :mod:`repro.chaos.runner`.
+
+``MATRIX`` is the regression set run by ``repro chaos matrix``: one
+scenario per layer (FaaS kills, TCP fabric, HTTP gateway, metastore
+shard, coordinator ACKs), each expected to pass all three verifier
+gates.  ``ack-loss-noretry`` is the deliberately broken recovery path
+— ACK loss with coordinator redelivery disabled — kept out of the
+matrix and *expected to fail* (the verifier must flag the stranded
+writers); it doubles as the self-test that the verifier can actually
+catch a broken system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.chaos.scenario import FaultSpec, Scenario
+
+#: The regression matrix (all expected to pass).
+MATRIX: Tuple[str, ...] = (
+    "nn-kills",
+    "tcp-sever",
+    "gateway-brownout",
+    "shard-outage",
+    "ack-loss",
+)
+
+#: Scenarios whose verifier verdict is expected to be FAIL.
+EXPECTED_FAIL: Tuple[str, ...] = ("ack-loss-noretry",)
+
+
+def builtin_scenarios() -> Dict[str, Scenario]:
+    """Name → scenario for the whole built-in catalog."""
+    scenarios = [
+        Scenario(
+            name="nn-kills",
+            description="§5.6: a warm NameNode dies every 900 ms for 4 s "
+                        "(seeded random victims)",
+            faults=(
+                FaultSpec("namenode_kill", at_ms=1_500.0, duration_ms=4_000.0,
+                          params={"interval_ms": 900.0, "policy": "random"}),
+            ),
+        ),
+        Scenario(
+            name="tcp-sever",
+            description="fabric partition: every TCP connection severed, "
+                        "re-severed every 1.5 s for 3.5 s",
+            faults=(
+                FaultSpec("tcp_sever", at_ms=1_500.0, duration_ms=3_500.0,
+                          params={"repeat_ms": 1_500.0}),
+            ),
+        ),
+        Scenario(
+            name="gateway-brownout",
+            description="HTTP gateway brownout (+latency, 25% shed) while "
+                        "a sever pushes traffic onto the gateway",
+            faults=(
+                FaultSpec("tcp_sever", at_ms=1_400.0),
+                FaultSpec("http_brownout", at_ms=1_500.0, duration_ms=3_000.0,
+                          params={"extra_ms": 150.0, "jitter_ms": 100.0,
+                                  "fail_p": 0.25}),
+            ),
+        ),
+        Scenario(
+            name="shard-outage",
+            description="metastore shard 0 unavailable 1.2 s inside a "
+                        "3.5 s 3x slow-store window",
+            faults=(
+                FaultSpec("store_slowdown", at_ms=1_500.0,
+                          duration_ms=3_500.0, params={"factor": 3.0}),
+                FaultSpec("shard_outage", at_ms=1_500.0, duration_ms=1_200.0,
+                          params={"shard": 0}),
+            ),
+        ),
+        Scenario(
+            name="ack-loss",
+            description="coordinator loses half of all INV ACKs for 3 s; "
+                        "redelivery must unblock every writer",
+            faults=(
+                FaultSpec("ack_loss", at_ms=1_500.0, duration_ms=3_000.0,
+                          params={"p": 0.5}),
+            ),
+        ),
+        Scenario(
+            name="ack-loss-noretry",
+            description="broken recovery path: every ACK lost with "
+                        "redelivery disabled — writers strand; the "
+                        "verifier MUST fail this run",
+            faults=(
+                FaultSpec("ack_loss", at_ms=1_500.0, duration_ms=2_000.0,
+                          params={"p": 1.0, "disable_retry": True}),
+            ),
+        ),
+        Scenario(
+            name="membership-flap",
+            description="members flap out/in of the coordinator registry "
+                        "under 20x-delayed death notifications",
+            faults=(
+                FaultSpec("watch_delay", at_ms=1_400.0, duration_ms=3_000.0,
+                          params={"factor": 20.0}),
+                FaultSpec("membership_flap", at_ms=1_500.0,
+                          params={"flap_ms": 700.0}),
+                FaultSpec("membership_flap", at_ms=2_600.0,
+                          params={"flap_ms": 700.0}),
+            ),
+        ),
+        Scenario(
+            name="cold-storm",
+            description="kills force re-provisioning while cold starts "
+                        "run 4x slower",
+            faults=(
+                FaultSpec("cold_start_storm", at_ms=1_500.0,
+                          duration_ms=3_500.0, params={"factor": 4.0}),
+                FaultSpec("namenode_kill", at_ms=1_600.0, duration_ms=3_000.0,
+                          params={"interval_ms": 800.0, "policy": "youngest"}),
+            ),
+        ),
+        Scenario(
+            name="capacity-crunch",
+            description="cluster vCPU budget crushed to 8% with the fabric "
+                        "severed — Appendix C churn territory",
+            faults=(
+                FaultSpec("capacity_crunch", at_ms=1_500.0,
+                          duration_ms=3_000.0, params={"fraction": 0.08}),
+                FaultSpec("tcp_sever", at_ms=1_600.0),
+            ),
+        ),
+        Scenario(
+            name="mixed",
+            description="kitchen sink: kills + message loss + brownout "
+                        "overlapping",
+            faults=(
+                FaultSpec("namenode_kill", at_ms=1_500.0, duration_ms=3_500.0,
+                          params={"interval_ms": 1_100.0, "policy": "random"}),
+                FaultSpec("tcp_drop", at_ms=2_000.0, duration_ms=2_500.0,
+                          params={"p": 0.15}),
+                FaultSpec("http_brownout", at_ms=2_500.0, duration_ms=2_000.0,
+                          params={"extra_ms": 100.0, "fail_p": 0.1}),
+            ),
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+def get_scenario(name: str) -> Scenario:
+    scenarios = builtin_scenarios()
+    if name not in scenarios:
+        raise KeyError(
+            f"unknown scenario {name!r}; built-ins: {sorted(scenarios)}"
+        )
+    return scenarios[name]

@@ -1,0 +1,273 @@
+"""Recovery verification: did the system survive the scenario?
+
+A chaos run passes three gates:
+
+1. **Invariants** — the tracer's online checkers (ACK-INV coherence,
+   lock discipline) recorded zero violations *under fault*;
+2. **Liveness** — every client operation terminated by the end of the
+   run, either successfully or with a clean typed error: no
+   ``client.op`` span is still open (a hung writer blocked on an ACK
+   that will never come shows up exactly here);
+3. **Recovery SLOs** — from the telemetry time-series: within
+   ``window_ms`` after the last fault clears, per-interval mean op
+   latency returns to within ``latency_factor`` × the pre-fault
+   baseline, and the cache hit-rate recovers to at least
+   ``hit_rate_band`` × its baseline.
+
+The verifier is read-only: it consumes the tracer and the sampled
+:class:`~repro.telemetry.sampler.TimeSeries` after the run.  Each gate
+degrades gracefully — with no tracer the first two are skipped, with
+no telemetry (or no pre-fault samples) the SLO gate is skipped — so
+unit tests can exercise gates in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RecoverySLO:
+    """Bands the post-fault system must return to."""
+
+    window_ms: float = 10_000.0
+    """How long after the last fault clears recovery must happen."""
+    latency_factor: float = 3.0
+    """Recovered per-interval mean latency ≤ factor × baseline."""
+    hit_rate_band: float = 0.5
+    """Recovered hit-rate ≥ band × baseline hit-rate."""
+    min_baseline_samples: int = 2
+    """Pre-fault intervals (with ops) needed to form a baseline."""
+
+
+@dataclass
+class VerifierReport:
+    """Everything the verifier concluded about one run."""
+
+    passed: bool = True
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    hung_ops: List[str] = field(default_factory=list)
+    baseline_latency_ms: Optional[float] = None
+    recovered_latency_ms: Optional[float] = None
+    baseline_hit_rate: Optional[float] = None
+    recovered_hit_rate: Optional[float] = None
+    recovery_time_ms: Optional[float] = None
+    """Last-fault-clear → first interval back inside the band."""
+
+    def _ok(self, message: str) -> None:
+        self.checks.append(f"PASS {message}")
+
+    def _fail(self, message: str) -> None:
+        self.passed = False
+        self.checks.append(f"FAIL {message}")
+        self.failures.append(message)
+
+    def _skip(self, message: str) -> None:
+        self.checks.append(f"skip {message}")
+
+    def render(self) -> str:
+        lines = [f"verifier: {'PASS' if self.passed else 'FAIL'}"]
+        lines.extend(f"  {check}" for check in self.checks)
+        for hung in self.hung_ops:
+            lines.append(f"  hung: {hung}")
+        for violation in self.violations:
+            lines.append(f"  violation: {violation}")
+        return "\n".join(lines)
+
+
+def _family_totals(timeseries: Any, family: str) -> List[Tuple[float, float]]:
+    """Per-sample sum of every labelled series in ``family``."""
+    by_key = timeseries.series_matching(family)
+    if not by_key:
+        return []
+    totals: List[Tuple[float, float]] = []
+    for index, (t_ms, _values) in enumerate(timeseries.samples):
+        total = 0.0
+        for points in by_key.values():
+            total += points[index][1]
+        totals.append((t_ms, total))
+    return totals
+
+
+def _deltas(points: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    out: List[Tuple[float, float]] = []
+    previous = 0.0
+    for t_ms, value in points:
+        out.append((t_ms, max(0.0, value - previous)))
+        previous = value
+    return out
+
+
+class ChaosVerifier:
+    """Post-run verdict over tracer + telemetry for one chaos run."""
+
+    def __init__(
+        self,
+        tracer: Any = None,
+        timeseries: Any = None,
+        engine: Any = None,
+        slo: Optional[RecoverySLO] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.timeseries = timeseries
+        self.engine = engine
+        self.slo = slo or RecoverySLO()
+
+    def verify(self) -> VerifierReport:
+        report = VerifierReport()
+        self._check_invariants(report)
+        self._check_liveness(report)
+        self._check_slos(report)
+        return report
+
+    # -- gate 1: invariants --------------------------------------------
+    def _check_invariants(self, report: VerifierReport) -> None:
+        if self.tracer is None:
+            report._skip("invariants (no tracer)")
+            return
+        violations = self.tracer.violations()
+        if violations:
+            report.violations = [str(v) for v in violations]
+            report._fail(f"invariants: {len(violations)} violation(s)")
+        else:
+            report._ok("invariants: 0 violations")
+
+    # -- gate 2: liveness ----------------------------------------------
+    def _check_liveness(self, report: VerifierReport) -> None:
+        if self.tracer is None:
+            report._skip("liveness (no tracer)")
+            return
+        hung = [
+            span for span in self.tracer.open_spans()
+            if span.kind == "client.op"
+        ]
+        if hung:
+            report.hung_ops = [
+                f"{span.actor} {span.attrs.get('op')} "
+                f"{span.attrs.get('path')} (since t={span.start_ms:.1f}ms)"
+                for span in hung
+            ]
+            report._fail(f"liveness: {len(hung)} client op(s) never terminated")
+        else:
+            report._ok("liveness: every client op terminated")
+
+    # -- gate 3: recovery SLOs -----------------------------------------
+    def _fault_window(self) -> Tuple[Optional[float], Optional[float]]:
+        if self.engine is None:
+            return None, None
+        return self.engine.first_fault_at_ms, self.engine.faults_clear_at_ms
+
+    def _check_slos(self, report: VerifierReport) -> None:
+        first_fault, clear = self._fault_window()
+        if self.timeseries is None or first_fault is None or clear is None:
+            report._skip("recovery SLO (no telemetry or no fault window)")
+            return
+        self._check_latency_slo(report, first_fault, clear)
+        self._check_hit_rate_slo(report, first_fault, clear)
+
+    def _latency_intervals(self) -> List[Tuple[float, float]]:
+        """(t, mean per-interval op latency) for intervals with ops."""
+        counts = _deltas(_family_totals(self.timeseries, "op_latency_ms_count"))
+        sums = _deltas(_family_totals(self.timeseries, "op_latency_ms_sum"))
+        out = []
+        for (t_ms, n), (_t, total) in zip(counts, sums):
+            if n > 0:
+                out.append((t_ms, total / n))
+        return out
+
+    def _hit_rate_intervals(self) -> List[Tuple[float, float]]:
+        hits = _deltas(_family_totals(self.timeseries, "cache_hits_total"))
+        misses = _deltas(_family_totals(self.timeseries, "cache_misses_total"))
+        out = []
+        for (t_ms, h), (_t, m) in zip(hits, misses):
+            if h + m > 0:
+                out.append((t_ms, h / (h + m)))
+        return out
+
+    def _baseline(
+        self, intervals: List[Tuple[float, float]], first_fault: float
+    ) -> Optional[float]:
+        # Baseline = steady-state intervals between the scenario epoch
+        # (excluding prewarm/prelude traffic before it, whose cold
+        # starts would inflate the band) and the first activation.
+        epoch = self.engine.epoch if self.engine is not None else None
+        window = [
+            v for t, v in intervals
+            if t < first_fault and (epoch is None or t > epoch)
+        ]
+        if len(window) < self.slo.min_baseline_samples:
+            return None
+        return sum(window) / len(window)
+
+    def _check_latency_slo(
+        self, report: VerifierReport, first_fault: float, clear: float
+    ) -> None:
+        intervals = self._latency_intervals()
+        baseline = self._baseline(intervals, first_fault)
+        if baseline is None:
+            report._skip("latency SLO (not enough pre-fault samples)")
+            return
+        report.baseline_latency_ms = baseline
+        bound = self.slo.latency_factor * baseline
+        deadline = clear + self.slo.window_ms
+        for t_ms, value in intervals:
+            if t_ms <= clear or t_ms > deadline:
+                continue
+            if value <= bound:
+                report.recovered_latency_ms = value
+                report.recovery_time_ms = max(0.0, t_ms - clear)
+                report._ok(
+                    f"latency SLO: {value:.2f} ms <= "
+                    f"{self.slo.latency_factor:g}x baseline "
+                    f"({baseline:.2f} ms) after {t_ms - clear:.0f} ms"
+                )
+                return
+        post = [v for t, v in intervals if clear < t <= deadline]
+        if not post:
+            report._fail(
+                "latency SLO: no completed ops observed in the "
+                f"{self.slo.window_ms:.0f} ms recovery window"
+            )
+            return
+        report.recovered_latency_ms = post[-1]
+        report._fail(
+            f"latency SLO: still {post[-1]:.2f} ms "
+            f"(> {self.slo.latency_factor:g}x baseline {baseline:.2f} ms) "
+            f"{self.slo.window_ms:.0f} ms after faults cleared"
+        )
+
+    def _check_hit_rate_slo(
+        self, report: VerifierReport, first_fault: float, clear: float
+    ) -> None:
+        intervals = self._hit_rate_intervals()
+        baseline = self._baseline(intervals, first_fault)
+        if baseline is None or baseline <= 0.0:
+            report._skip("hit-rate SLO (no pre-fault cache baseline)")
+            return
+        report.baseline_hit_rate = baseline
+        floor = self.slo.hit_rate_band * baseline
+        deadline = clear + self.slo.window_ms
+        for t_ms, value in intervals:
+            if t_ms <= clear or t_ms > deadline:
+                continue
+            if value >= floor:
+                report.recovered_hit_rate = value
+                report._ok(
+                    f"hit-rate SLO: {value:.2f} >= "
+                    f"{self.slo.hit_rate_band:g}x baseline ({baseline:.2f}) "
+                    f"after {t_ms - clear:.0f} ms"
+                )
+                return
+        post = [v for t, v in intervals if clear < t <= deadline]
+        if not post:
+            report._skip("hit-rate SLO (no cache traffic after faults cleared)")
+            return
+        report.recovered_hit_rate = post[-1]
+        report._fail(
+            f"hit-rate SLO: still {post[-1]:.2f} "
+            f"(< {self.slo.hit_rate_band:g}x baseline {baseline:.2f}) "
+            f"{self.slo.window_ms:.0f} ms after faults cleared"
+        )

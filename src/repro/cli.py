@@ -14,6 +14,9 @@ Commands:
   microbenchmark (attribution report + Perfetto/flamegraph exports),
   ``diff`` two profile.json files stage-by-stage, ``export`` from a
   spans dump;
+* ``chaos`` — deterministic fault injection: ``run`` one scenario
+  (built-in name or JSON file) under load and verify recovery,
+  ``matrix`` the regression scenario set;
 * ``experiments`` — list the experiment drivers and what they map to.
 """
 
@@ -375,6 +378,132 @@ def _cmd_profile(args) -> int:
     raise ValueError(f"unknown profile subcommand {args.profile_command!r}")
 
 
+def _chaos_run_config(args):
+    from repro.chaos import ChaosRunConfig, RecoverySLO
+
+    return ChaosRunConfig(
+        seed=args.seed,
+        clients=args.clients,
+        deployments=args.deployments,
+        write_fraction=args.write_frac,
+        think_ms=args.think,
+        telemetry_interval_ms=args.interval,
+        drain_ms=args.drain,
+        slo=RecoverySLO(window_ms=args.window),
+    )
+
+
+def _chaos_result_lines(result) -> List[str]:
+    lines = [result.summary(), result.report.render()]
+    injections = [e for e in result.engine.log if e.action == "inject"]
+    lines.append(
+        f"fault log: {len(result.engine.log)} event(s), "
+        f"{len(injections)} injection(s), hash {result.log_hash}"
+    )
+    return lines
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos import (
+        EXPECTED_FAIL,
+        MATRIX,
+        builtin_scenarios,
+        load_scenario,
+        run_scenario,
+    )
+
+    if args.chaos_command == "run":
+        if args.list:
+            rows = [
+                [s.name, len(s.faults), f"{s.clear_ms / 1000:.1f}s",
+                 s.description]
+                for s in builtin_scenarios().values()
+            ]
+            print(tabulate(["scenario", "faults", "clear", "description"],
+                           rows))
+            return 0
+        if args.file:
+            scenario = load_scenario(args.file)
+        elif args.scenario:
+            scenario = builtin_scenarios().get(args.scenario)
+            if scenario is None:
+                print(f"unknown scenario {args.scenario!r} "
+                      f"(try: repro chaos run --list)", file=sys.stderr)
+                return 2
+        else:
+            print("need a scenario name or --file (or --list)",
+                  file=sys.stderr)
+            return 2
+        result = run_scenario(scenario, _chaos_run_config(args))
+        for line in _chaos_result_lines(result):
+            print(line)
+        if args.verbose:
+            for event in result.engine.log:
+                print(f"  {event}")
+        return 0 if result.passed else 1
+
+    if args.chaos_command == "matrix":
+        scenarios = builtin_scenarios()
+        names = list(args.scenarios) if args.scenarios else list(MATRIX)
+        unknown = [n for n in names if n not in scenarios]
+        if unknown:
+            print(f"unknown scenario(s): {unknown}", file=sys.stderr)
+            return 2
+        config = _chaos_run_config(args)
+        rows = []
+        records = {}
+        exit_code = 0
+        for name in names:
+            result = run_scenario(scenarios[name], config)
+            expected_fail = name in EXPECTED_FAIL
+            ok = result.passed != expected_fail
+            verdict = "PASS" if result.passed else "FAIL"
+            if expected_fail:
+                verdict += " (expected)" if ok else " (!)"
+            elif not ok:
+                exit_code = 1
+            if expected_fail and not ok:
+                exit_code = 1
+            recovery = result.report.recovery_time_ms
+            rows.append([
+                name, verdict, result.ops_ok, result.ops_failed,
+                "-" if recovery is None else f"{recovery:.0f} ms",
+                result.event_hash[:12],
+            ])
+            records[name] = {
+                "passed": result.passed,
+                "expected_fail": expected_fail,
+                "ops_ok": result.ops_ok,
+                "ops_failed": result.ops_failed,
+                "errors": result.errors,
+                "checks": result.report.checks,
+                "hung_ops": len(result.report.hung_ops),
+                "recovery_time_ms": recovery,
+                "duration_ms": result.duration_ms,
+                "event_hash": result.event_hash,
+                "fault_log_hash": result.log_hash,
+            }
+            if not ok:
+                print(result.report.render())
+        print(tabulate(
+            ["scenario", "verdict", "ok", "failed", "recovery", "events"],
+            rows,
+        ))
+        if args.bench_json:
+            with open(args.bench_json, "w") as fh:
+                json.dump(
+                    {"version": 1, "seed": args.seed, "scenarios": records},
+                    fh, indent=2, sort_keys=True,
+                )
+            print(f"\nbench json: {args.bench_json}")
+        print("matrix:", "PASS" if exit_code == 0 else "FAIL")
+        return exit_code
+
+    raise ValueError(f"unknown chaos subcommand {args.chaos_command!r}")
+
+
 def _cmd_experiments(_args) -> int:
     table = [
         ("fig8a/fig8b", "Spotify workload throughput", "benchmarks/test_fig8a…,8b…"),
@@ -499,6 +628,49 @@ def build_parser() -> argparse.ArgumentParser:
                                 default="kind",
                                 help="folded-stack leaf frames")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection: run / matrix",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    def _chaos_knobs(p):
+        p.add_argument("--clients", type=int, default=24)
+        p.add_argument("--deployments", type=int, default=4)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--write-frac", type=float, default=0.15,
+                       help="fraction of ops that are metadata writes")
+        p.add_argument("--think", type=float, default=40.0,
+                       help="mean client think time (sim-ms)")
+        p.add_argument("--interval", type=float, default=250.0,
+                       help="telemetry sampling interval (sim-ms)")
+        p.add_argument("--window", type=float, default=10_000.0,
+                       help="recovery-SLO window after faults clear (sim-ms)")
+        p.add_argument("--drain", type=float, default=8_000.0,
+                       help="grace beyond the SLO window before cutoff")
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="one scenario under load + recovery verification"
+    )
+    chaos_run.add_argument("scenario", nargs="?", default=None,
+                           help="built-in scenario name")
+    chaos_run.add_argument("--file", default=None, metavar="JSON",
+                           help="load the scenario from a JSON file instead")
+    chaos_run.add_argument("--list", action="store_true",
+                           help="list built-in scenarios and exit")
+    chaos_run.add_argument("--verbose", action="store_true",
+                           help="print the full fault log")
+    _chaos_knobs(chaos_run)
+
+    chaos_matrix = chaos_sub.add_parser(
+        "matrix", help="the regression scenario matrix"
+    )
+    chaos_matrix.add_argument("--scenarios", nargs="+", default=None,
+                              help="override the default matrix set")
+    chaos_matrix.add_argument("--bench-json", default=None, metavar="PATH",
+                              help="write per-scenario verdicts + hashes JSON")
+    _chaos_knobs(chaos_matrix)
+
     sub.add_parser("experiments", help="list experiment drivers")
     return parser
 
@@ -511,6 +683,7 @@ COMMANDS = {
     "replay": _cmd_replay,
     "telemetry": _cmd_telemetry,
     "profile": _cmd_profile,
+    "chaos": _cmd_chaos,
     "experiments": _cmd_experiments,
 }
 

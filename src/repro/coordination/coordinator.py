@@ -31,6 +31,15 @@ class CoordinatorConfig:
     """One-way latency of an ACK back to the leader."""
     watch_ms: float = 0.3
     """Latency of a liveness notification."""
+    ack_retry_ms: float = 5.0
+    """Redelivery backoff when a member's ACK goes missing (chaos ACK
+    loss).  INV handlers are idempotent, so redelivering the whole
+    INV is safe and the writer eventually collects every ACK."""
+    ack_max_retries: int = 32
+    """Redelivery attempts before the coordinator gives up on a
+    member (0 disables redelivery — a lost ACK then strands the
+    writer until the member deregisters).  Generous by default:
+    redelivery is cheap and outlasts any plausible loss window."""
 
 
 @dataclass(frozen=True)
@@ -105,6 +114,18 @@ class Coordinator:
     def live_members(self, deployment: str) -> Set[str]:
         """Ids of instances currently alive in ``deployment``."""
         return set(self._members.get(deployment, {}))
+
+    def deployments(self) -> Set[str]:
+        """Names of deployments with at least one registered member."""
+        return {name for name, members in self._members.items() if members}
+
+    def inv_handler(self, deployment: str, member_id: str):
+        """The registered INV handler for a member (or None).
+
+        Lets fault injection capture a handler before a simulated
+        deregistration so the member can rejoin with it afterwards.
+        """
+        return self._members.get(deployment, {}).get(member_id)
 
     def live_count(self, deployment: str) -> int:
         return len(self._members.get(deployment, {}))
@@ -208,28 +229,51 @@ class Coordinator:
                 "coord.member", member_id, parent=round_span,
                 inv_id=inv.inv_id,
             )
-        yield self.env.timeout(self.config.publish_ms)
-        # The member may have died in flight; deregistration already
-        # released the pending set in that case.
-        live = self._members.get(inv.deployment, {})
-        if member_id not in live:
+        attempt = 0
+        while True:
+            attempt += 1
+            yield self.env.timeout(self.config.publish_ms)
+            # The member may have died in flight; deregistration
+            # already released the pending set in that case.
+            live = self._members.get(inv.deployment, {})
+            if member_id not in live:
+                if tracer is not None:
+                    tracer.end(member_span, delivered=False)
+                return
             if tracer is not None:
-                tracer.end(member_span, delivered=False)
+                # From this instant, any cached copy of these paths on
+                # the member is stale by protocol — emitted *before*
+                # the handler runs so a broken handler cannot hide
+                # staleness from the coherence checker.
+                tracer.point(
+                    "coord.inv_deliver", member_id, parent=round_span,
+                    inv_id=inv.inv_id, paths=inv.paths, prefix=inv.prefix,
+                )
+            handler(inv)
+            yield self.env.timeout(self.config.ack_ms)
+            chaos = self.env.chaos
+            if chaos is not None and chaos.ack_should_drop(
+                inv.deployment, member_id
+            ):
+                if tracer is not None:
+                    tracer.point(
+                        "chaos.ack_drop", member_id, parent=round_span,
+                        inv_id=inv.inv_id, attempt=attempt,
+                    )
+                if attempt > self.config.ack_max_retries:
+                    # Redelivery exhausted (or disabled): the writer
+                    # stays blocked until this member deregisters.
+                    if tracer is not None:
+                        tracer.end(member_span, delivered=True, acked=False)
+                    return
+                # Handlers are idempotent: redeliver the whole INV
+                # after a short backoff and collect the ACK again.
+                yield self.env.timeout(self.config.ack_retry_ms)
+                continue
+            if tracer is not None:
+                tracer.end(member_span, delivered=True)
+            self.ack(inv.inv_id, member_id)
             return
-        if tracer is not None:
-            # From this instant, any cached copy of these paths on the
-            # member is stale by protocol — emitted *before* the
-            # handler runs so a broken handler cannot hide staleness
-            # from the coherence checker.
-            tracer.point(
-                "coord.inv_deliver", member_id, parent=round_span,
-                inv_id=inv.inv_id, paths=inv.paths, prefix=inv.prefix,
-            )
-        handler(inv)
-        yield self.env.timeout(self.config.ack_ms)
-        if tracer is not None:
-            tracer.end(member_span, delivered=True)
-        self.ack(inv.inv_id, member_id)
 
 
 class ZooKeeperCoordinator(Coordinator):

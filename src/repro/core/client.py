@@ -75,6 +75,7 @@ class LambdaFSClient:
         self.stats_http_rpcs = 0
         self.stats_tcp_rpcs = 0
         self.stats_retries = 0
+        self.stats_antithrash_entries = 0
 
     # -- public API ------------------------------------------------------
     def create_file(self, path: str) -> Generator:
@@ -269,6 +270,20 @@ class LambdaFSClient:
         env = self.fs.env
         latency = self.fs.latency
         yield env.timeout(latency.http_oneway() + latency.gateway())
+        chaos = env.chaos
+        if chaos is not None:
+            extra, shed = chaos.gateway_effects()
+            if extra > 0.0:
+                yield env.timeout(extra)
+            if shed:
+                # Gateway brownout: the request never reaches the
+                # invoker; the caller's backoff-retry loop handles it.
+                if env.tracer is not None:
+                    env.tracer.point(
+                        "chaos.gateway_shed", self.id,
+                        parent=request.trace_parent, deployment=deployment,
+                    )
+                raise RequestTimeout(f"gateway shed invoke of {deployment}")
         invoke = env.process(self.fs.platform.invoke(deployment, request))
         timer = env.timeout(self.config.http_timeout_ms)
         outcome = yield invoke | timer
@@ -293,6 +308,12 @@ class LambdaFSClient:
             and average > 0
             and latency_ms >= self.config.antithrash_threshold * average
         ):
+            if not self._antithrash_active():
+                # Count entries (not extensions): a spike during an
+                # active cooldown merely prolongs it.
+                self.stats_antithrash_entries += 1
+                if self.fs.env.metrics is not None:
+                    self.fs.env.metrics.inc("client_antithrash_entries_total")
             self._antithrash_until = (
                 self.fs.env.now + self.config.antithrash_cooldown_ms
             )

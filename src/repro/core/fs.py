@@ -64,7 +64,9 @@ class LambdaFS:
         self.config = config or LambdaFSConfig()
         self.rngs = RngStreams(self.config.seed)
         self.latency = LatencyModel(self.rngs.stream("latency"), self.config.latency)
-        self.store = NdbStore(env, self.config.ndb)
+        self.store = NdbStore(
+            env, self.config.ndb, rng=self.rngs.stream("ndb-retry")
+        )
         self.ops = NamespaceOps(self.store)
         self.coordinator = make_coordinator(env, self.config.coordinator_kind)
         self.platform = FaaSPlatform(

@@ -23,7 +23,7 @@ from repro.metastore.errors import TransactionAborted
 from repro.namespace.cache import MetadataCache
 from repro.namespace.inode import INode, dirent_key, inode_key
 from repro.namespace.paths import components, is_descendant, normalize, parent_of
-from repro.sim import AllOf
+from repro.sim import AllOf, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.fs import LambdaFS
@@ -59,6 +59,11 @@ class LambdaNameNode:
         # timeouts or dropped connections) get the original answer
         # instead of re-running the operation (§3.2).
         self._result_cache: Dict[int, Tuple[float, MetadataResponse]] = {}
+        # A resubmitted duplicate can arrive while its original is
+        # still executing (straggler watchdog + slow instance); the
+        # duplicate waits here for the original's answer instead of
+        # re-running the operation.
+        self._inflight: Dict[int, Event] = {}
         self._datanode_view: List[str] = []
         self._datanode_view_at = -float("inf")
         self._last_result_purge = 0.0
@@ -98,36 +103,63 @@ class LambdaNameNode:
             yield from self.instance.compute(self.config.cpu_ms_per_op / 2)
             return cached[1]
 
-        span = None
-        if tracer is not None:
-            span = tracer.begin(
-                "nn.handle", self.member_id, parent=request.trace_parent,
-                op=request.op.value, path=request.path, via=via,
-            )
-        yield from self.instance.compute(self.config.cpu_ms_per_op)
+        inflight = self._inflight.get(request.request_id)
+        if inflight is not None:
+            # A duplicate racing its own original (straggler resubmit
+            # or duplicated TCP delivery): wait for the first serve
+            # and return its answer.
+            if tracer is not None:
+                tracer.point(
+                    "nn.inflight", self.member_id,
+                    parent=request.trace_parent,
+                    request_id=request.request_id,
+                )
+            response = yield inflight
+            yield from self.instance.compute(self.config.cpu_ms_per_op / 2)
+            if response is not None:
+                return response
+            # The original serve died without an answer; fall through
+            # and execute the request ourselves.
+
+        marker = Event(env)
+        self._inflight[request.request_id] = marker
+        response = None
         try:
-            if request.op is OpType.EXEC_BATCH:
-                value, hit = (yield from self._exec_batch(request, span)), False
-            elif request.op.is_write:
-                value, hit = yield from self._handle_write(request, span)
-            else:
-                value, hit = yield from self._handle_read(request, span)
-            response = MetadataResponse(
-                request_id=request.request_id, ok=True, value=value,
-                served_by=self.member_id, cache_hit=hit,
-            )
-        except (FsError, TransactionAborted) as exc:
-            # TransactionAborted surfaces when every retry of a
-            # store transaction timed out (sustained lock convoys
-            # under overload); the client sees a failed response and
-            # decides whether to resubmit.
-            response = MetadataResponse(
-                request_id=request.request_id, ok=False,
-                error=f"{type(exc).__name__}: {exc}", served_by=self.member_id,
-            )
-        if tracer is not None:
-            tracer.end(span, ok=response.ok, cache_hit=response.cache_hit)
-        self._result_cache[request.request_id] = (env.now, response)
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "nn.handle", self.member_id, parent=request.trace_parent,
+                    op=request.op.value, path=request.path, via=via,
+                )
+            yield from self.instance.compute(self.config.cpu_ms_per_op)
+            try:
+                if request.op is OpType.EXEC_BATCH:
+                    value, hit = (yield from self._exec_batch(request, span)), False
+                elif request.op.is_write:
+                    value, hit = yield from self._handle_write(request, span)
+                else:
+                    value, hit = yield from self._handle_read(request, span)
+                response = MetadataResponse(
+                    request_id=request.request_id, ok=True, value=value,
+                    served_by=self.member_id, cache_hit=hit,
+                )
+            except (FsError, TransactionAborted) as exc:
+                # TransactionAborted surfaces when every retry of a
+                # store transaction timed out (sustained lock convoys
+                # under overload); the client sees a failed response and
+                # decides whether to resubmit.
+                response = MetadataResponse(
+                    request_id=request.request_id, ok=False,
+                    error=f"{type(exc).__name__}: {exc}", served_by=self.member_id,
+                )
+            if tracer is not None:
+                tracer.end(span, ok=response.ok, cache_hit=response.cache_hit)
+            self._result_cache[request.request_id] = (env.now, response)
+        finally:
+            if self._inflight.get(request.request_id) is marker:
+                del self._inflight[request.request_id]
+            if not marker.triggered:
+                marker.succeed(response)
         if via == "http":
             self._connect_back(request)
         return response

@@ -1,88 +1,20 @@
 """Fault injection for FaaS fleets (§5.6 fault-tolerance testing).
 
-The paper's fault-tolerance experiment terminates an active NameNode
-every 30 seconds, targeting each deployment in round-robin fashion.
-:class:`NameNodeKiller` reproduces that as a reusable process, with
-hooks for the experiments and examples that need kill logs.
+Compatibility shim: the :class:`NameNodeKiller` now lives in
+:mod:`repro.chaos.faults`, where it is one fault among many — the
+full multi-layer chaos engine (scenarios, deterministic injection,
+recovery verification) is :mod:`repro.chaos`.  This module re-exports
+the killer under its historic import path; the default configuration
+(round-robin victims, no RNG draws) behaves exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator, List, Optional
+from repro.chaos.faults import (  # noqa: F401
+    VICTIM_POLICIES,
+    KillRecord,
+    NameNodeKiller,
+    pick_victim,
+)
 
-from repro.faas.platform import FaaSPlatform
-from repro.sim import Environment, Interrupt
-
-
-@dataclass
-class KillRecord:
-    time_ms: float
-    instance_id: str
-    deployment: str
-
-
-class NameNodeKiller:
-    """Terminates one warm instance per interval, round-robin."""
-
-    def __init__(
-        self,
-        env: Environment,
-        platform: FaaSPlatform,
-        interval_ms: float,
-        deployments: Optional[List[str]] = None,
-    ) -> None:
-        if interval_ms <= 0:
-            raise ValueError("interval_ms must be positive")
-        self.env = env
-        self.platform = platform
-        self.interval_ms = interval_ms
-        self._names = deployments
-        self.kills: List[KillRecord] = []
-        self._process = None
-
-    def start(self) -> None:
-        if self._process is None or not self._process.is_alive:
-            self._process = self.env.process(self._loop())
-
-    def stop(self) -> None:
-        if self._process is not None and self._process.is_alive:
-            self._process.interrupt()
-        self._process = None
-
-    def _targets(self) -> List[str]:
-        if self._names is not None:
-            return self._names
-        return sorted(self.platform.deployments)
-
-    def _loop(self) -> Generator:
-        index = 0
-        names = self._targets()
-        try:
-            while True:
-                yield self.env.timeout(self.interval_ms)
-                # Round-robin over deployments; skip ones with no warm
-                # instance right now.
-                for _ in range(len(names)):
-                    deployment = self.platform.deployments[names[index % len(names)]]
-                    index += 1
-                    warm = [
-                        instance
-                        for instance in deployment.live_instances()
-                        if instance.state == "warm"
-                    ]
-                    if warm:
-                        victim = warm[0]
-                        self.kills.append(KillRecord(
-                            self.env.now, victim.id, deployment.name
-                        ))
-                        tracer = self.env.tracer
-                        if tracer is not None:
-                            tracer.point(
-                                "chaos.kill", victim.id,
-                                deployment=deployment.name,
-                            )
-                        victim.terminate(reason="fault")
-                        break
-        except Interrupt:
-            return
+__all__ = ["KillRecord", "NameNodeKiller", "pick_victim", "VICTIM_POLICIES"]

@@ -13,6 +13,7 @@ apply-at-commit semantics, and NDB-style lock-wait timeouts.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from itertools import count
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
@@ -20,6 +21,7 @@ from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set
 from repro._util import stable_hash
 from repro.metastore.errors import TransactionAborted
 from repro.metastore.locks import LockManager, LockMode
+from repro.rpc.retry import RetryPolicy
 from repro.sim import Environment, Resource
 
 
@@ -59,9 +61,17 @@ class NdbStats:
 class NdbStore:
     """The sharded transactional store."""
 
-    def __init__(self, env: Environment, config: Optional[NdbConfig] = None) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[NdbConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.env = env
         self.config = config or NdbConfig()
+        # Jitter stream for transaction-retry backoff; callers (e.g.
+        # LambdaFS) pass a named RngStreams stream for reproducibility.
+        self._retry_rng = rng if rng is not None else random.Random(0)
         self._data: Dict[Any, Any] = {}
         self._prefix_index: Dict[Any, Set[Any]] = {}
         self.locks = LockManager(env, self.config.lock_timeout_ms)
@@ -125,15 +135,22 @@ class NdbStore:
         body: Callable[["Transaction"], Generator],
         retries: int = 8,
         backoff_ms: float = 2.0,
+        backoff_cap_ms: float = 64.0,
         label: str = "",
         trace_parent=None,
     ) -> Generator:
         """Run ``body`` with retry-on-abort; returns the body's value.
 
         ``body`` is a generator function taking the transaction; it is
-        retried with exponential backoff when aborted (lock timeouts).
+        retried when aborted (lock timeouts) after a full-jitter
+        exponential backoff capped at ``backoff_cap_ms``: aborts come
+        in storms (one timeout aborts every waiter on the row), and
+        uncapped, lock-step retries would re-collide indefinitely.
         """
         attempt = 0
+        policy = RetryPolicy(
+            base_ms=backoff_ms, factor=2.0, max_ms=backoff_cap_ms
+        )
         while True:
             txn = self.begin(label, trace_parent)
             try:
@@ -145,14 +162,15 @@ class NdbStore:
                 attempt += 1
                 if attempt > retries:
                     raise
+                delay = policy.full_jitter_delay(attempt, self._retry_rng)
                 tracer = self.env.tracer
                 retry_span = None
                 if tracer is not None:
                     retry_span = tracer.begin(
                         "txn.backoff", repr(txn), parent=trace_parent,
-                        attempt=attempt, label=label,
+                        attempt=attempt, label=label, backoff_ms=delay,
                     )
-                yield self.env.timeout(backoff_ms * (2 ** (attempt - 1)))
+                yield self.env.timeout(delay)
                 if tracer is not None:
                     tracer.end(retry_span)
             except BaseException:
@@ -168,6 +186,15 @@ class NdbStore:
 
     def _service(self, shard: Resource, service_ms: float) -> Generator:
         """One shard access: half RTT, queue for a worker, serve, half RTT."""
+        chaos = self.env.chaos
+        if chaos is not None:
+            index = self._shards.index(shard)
+            hold = chaos.store_hold_ms(index)
+            if hold > 0.0:
+                # Shard unavailability window: the request stalls
+                # until the shard (NDB data-node failover) comes back.
+                yield self.env.timeout(hold)
+            service_ms = service_ms * chaos.store_factor(index)
         half_rtt = self.config.rtt_ms / 2.0
         if half_rtt:
             yield self.env.timeout(half_rtt)

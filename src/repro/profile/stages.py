@@ -78,6 +78,7 @@ KIND_TO_STAGE = {
     "faas.cold_wait": "cold_start",
     "nn.handle": "namenode",
     "nn.result_cache": "namenode",
+    "nn.inflight": "namenode",
     "nn.retry_backoff": "store",
     "txn": "store",
     "txn.commit": "store",

@@ -61,6 +61,20 @@ class TcpConnection:
                 tracer.point("tcp.drop", f"conn{self.id}", parent=parent,
                              deployment=self.deployment, when="pre-send")
             raise ConnectionDropped(f"connection {self.id} is down")
+        chaos = env.chaos
+        if chaos is not None:
+            extra = chaos.tcp_extra_delay_ms(self.deployment)
+            if extra > 0.0:
+                yield env.timeout(extra)
+            if chaos.tcp_should_drop(self.deployment):
+                # Message loss, not connection loss: the connection
+                # stays up and the client's retry resubmits over it.
+                if tracer is not None:
+                    tracer.point("chaos.tcp_drop", f"conn{self.id}",
+                                 parent=parent, deployment=self.deployment)
+                raise ConnectionDropped(
+                    f"request lost on connection {self.id} (chaos)"
+                )
         if tracer is not None:
             tracer.point("tcp.send", f"conn{self.id}", parent=parent,
                          deployment=self.deployment)
@@ -72,6 +86,18 @@ class TcpConnection:
                              deployment=self.deployment, when="in-flight")
             raise ConnectionDropped(f"{self.deployment} died before serving")
         response = yield from self.instance.serve(request, via="tcp")
+        if (
+            chaos is not None
+            and self.instance.is_alive
+            and chaos.tcp_should_duplicate(self.deployment)
+        ):
+            # Duplicate delivery: the same request is served twice;
+            # the NameNode's result cache must answer the replay with
+            # the original result instead of re-running the op.
+            if tracer is not None:
+                tracer.point("chaos.tcp_duplicate", f"conn{self.id}",
+                             parent=parent, deployment=self.deployment)
+            response = yield from self.instance.serve(request, via="tcp")
         if not self.alive or not self.instance.is_alive:
             self.close()
             if tracer is not None:

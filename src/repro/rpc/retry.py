@@ -35,3 +35,15 @@ class RetryPolicy:
         raw = min(self.base_ms * (self.factor ** (attempt - 1)), self.max_ms)
         spread = raw * self.jitter
         return max(0.0, raw - spread + rng.random() * 2 * spread)
+
+    def full_jitter_delay(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter backoff: uniform over [0, capped exponential].
+
+        Decorrelates synchronized retry storms (e.g. many transactions
+        aborted by the same lock-timeout burst) better than centred
+        jitter: no two retriers share even the expected wait.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_ms * (self.factor ** (attempt - 1)), self.max_ms)
+        return rng.uniform(0.0, raw)

@@ -41,6 +41,11 @@ class Environment:
         #: contract as the tracer: instrumentation sites check
         #: ``env.metrics is None`` and pay nothing when telemetry is off.
         self.metrics: Optional[Any] = None
+        #: Optional :class:`repro.chaos.ChaosEngine` — same contract
+        #: again: fault-injection sites check ``env.chaos is None``;
+        #: with no engine attached the simulation is byte-identical to
+        #: a build without the chaos subsystem.
+        self.chaos: Optional[Any] = None
 
     @property
     def now(self) -> float:

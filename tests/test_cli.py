@@ -53,3 +53,45 @@ def test_replay_command(tmp_path, capsys):
     assert cli_main(["replay", str(trace), "--clients", "2"]) == 0
     out = capsys.readouterr().out
     assert "replayed 3 ops (3 ok, 0 failed)" in out
+
+
+def test_chaos_run_list(capsys):
+    assert main(["chaos", "run", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "ack-loss" in out
+    assert "tcp-sever" in out
+
+
+def test_chaos_run_rejects_unknown_scenario(capsys):
+    assert main(["chaos", "run", "meteor-strike"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_chaos_run_requires_a_scenario(capsys):
+    assert main(["chaos", "run"]) == 2
+    assert "need a scenario" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+def test_chaos_run_from_json_file(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps({
+        "name": "tiny",
+        "faults": [
+            {"kind": "tcp_delay", "at_ms": 300.0, "duration_ms": 400.0,
+             "params": {"extra_ms": 5.0}},
+        ],
+    }))
+    code = main([
+        "chaos", "run", "--file", str(path),
+        "--clients", "4", "--think", "10",
+        "--window", "1200", "--drain", "1500",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "tiny: PASS" in out
+    assert "verifier: PASS" in out
+    assert "fault log:" in out
