@@ -77,3 +77,10 @@ python -m repro chaos run ack-loss --clients 12 --window 4000 \
 grep -q "verifier: PASS" "$out/chaos.txt"
 grep -q "fault log:" "$out/chaos.txt"
 echo "chaos smoke ok: $(head -1 "$out/chaos.txt")"
+
+# Kernel smoke: the quick events/sec gate against the committed
+# baseline — fails on a >10% regression at the quick scale point.
+python -m repro bench kernel --quick \
+    --baseline BENCH_kernel.json --threshold 0.10 > "$out/kernel.txt"
+grep -q "kernel bench: PASS" "$out/kernel.txt"
+echo "kernel smoke ok: $(grep 'kernel bench:' "$out/kernel.txt")"

@@ -165,7 +165,7 @@ class FunctionInstance:
         if not self.is_alive:
             raise InstanceTerminated(self.id)
         if self.state == "provisioning":
-            tracer = self.env.tracer
+            tracer = self.env.tracer if self.env.instrumented else None
             cold_span = None
             if tracer is not None:
                 cold_span = tracer.begin(
@@ -398,11 +398,18 @@ class FaaSPlatform:
         another deployment (Appendix C) or park until capacity frees.
         """
         deployment = self.deployments[deployment_name]
-        if self.env.metrics is not None:
-            self.env.metrics.inc(
+        env = self.env
+        # One flag read covers metrics + tracer on the invoker path.
+        if env.instrumented:
+            metrics = env.metrics
+            tracer = env.tracer
+        else:
+            metrics = None
+            tracer = None
+        if metrics is not None:
+            metrics.inc(
                 "faas_invocations_total", deployment=deployment_name
             )
-        tracer = self.env.tracer
         queue_span = None
         if tracer is not None:
             # Invoker-queue time: from arrival at the invoker until an

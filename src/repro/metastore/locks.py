@@ -34,6 +34,8 @@ class LockMode(enum.Enum):
 
 
 class _LockRequest(Event):
+    __slots__ = ("owner", "mode")
+
     def __init__(self, env: "Environment", owner: Any, mode: LockMode) -> None:
         super().__init__(env)
         self.owner = owner
@@ -99,7 +101,15 @@ class LockManager:
         """
         budget = self.default_timeout_ms if timeout_ms is None else timeout_ms
         lock = self._locks.setdefault(key, _KeyLock())
-        tracer = self.env.tracer
+        env = self.env
+        # One env.instrumented read covers tracer + metrics on the
+        # hottest lock path (every row access comes through here).
+        if env.instrumented:
+            tracer = env.tracer
+            metrics = env.metrics
+        else:
+            tracer = None
+            metrics = None
 
         held = lock.holders.get(owner)
         if held is not None:
@@ -144,7 +154,6 @@ class LockManager:
                 key=repr(key), mode=mode.value,
                 epoch=getattr(owner, "_lock_epoch", None),
             )
-        metrics = self.env.metrics
         if metrics is not None:
             metrics.inc("lock_waits_total", mode=mode.value)
         wait_started = self.env.now
@@ -176,7 +185,7 @@ class LockManager:
         if lock is None or owner not in lock.holders:
             return
         lock.revoke(owner)
-        tracer = self.env.tracer
+        tracer = self.env.tracer if self.env.instrumented else None
         if tracer is not None:
             tracer.point("lock.release", repr(owner), key=repr(key))
         self._grant_waiters(key, lock)
@@ -195,7 +204,7 @@ class LockManager:
         return len(lock.holders) == 1 and owner in lock.holders
 
     def _grant_waiters(self, key: Any, lock: _KeyLock) -> None:
-        tracer = self.env.tracer
+        tracer = self.env.tracer if self.env.instrumented else None
         granted_any = True
         while granted_any and lock.queue:
             granted_any = False

@@ -123,7 +123,7 @@ class NdbStore:
     def begin(self, label: str = "", trace_parent=None) -> "Transaction":
         """Start a new transaction."""
         txn = Transaction(self, next(self._txn_ids), label)
-        tracer = self.env.tracer
+        tracer = self.env.tracer if self.env.instrumented else None
         if tracer is not None:
             txn._trace_span = tracer.begin(
                 "txn", repr(txn), parent=trace_parent, label=label
@@ -186,7 +186,7 @@ class NdbStore:
 
     def _service(self, shard: Resource, service_ms: float) -> Generator:
         """One shard access: half RTT, queue for a worker, serve, half RTT."""
-        chaos = self.env.chaos
+        chaos = self.env.chaos if self.env.instrumented else None
         if chaos is not None:
             index = self._shards.index(shard)
             hold = chaos.store_hold_ms(index)
@@ -364,8 +364,10 @@ class Transaction:
     def commit(self) -> Generator:
         """Apply staged writes and release all locks."""
         self._check_open()
+        env = self.store.env
+        instrumented = env.instrumented
         if self._staged:
-            tracer = self.store.env.tracer
+            tracer = env.tracer if instrumented else None
             commit_span = None
             if tracer is not None:
                 commit_span = tracer.begin(
@@ -385,8 +387,8 @@ class Transaction:
                 self.store._apply_write(key, value)
             self.store.stats.writes += len(self._staged)
         self.store.stats.commits += 1
-        if self.store.env.metrics is not None:
-            self.store.env.metrics.inc("store_txns_total", outcome="commit")
+        if instrumented and env.metrics is not None:
+            env.metrics.inc("store_txns_total", outcome="commit")
         self._finish(committed=True)
 
     def abort(self) -> None:
@@ -394,8 +396,9 @@ class Transaction:
         if self._done:
             return
         self.store.stats.aborts += 1
-        if self.store.env.metrics is not None:
-            self.store.env.metrics.inc("store_txns_total", outcome="abort")
+        env = self.store.env
+        if env.instrumented and env.metrics is not None:
+            env.metrics.inc("store_txns_total", outcome="abort")
         self._finish(committed=False)
 
     # -- internals -------------------------------------------------------------
@@ -410,7 +413,8 @@ class Transaction:
         self._locked.clear()
         self._staged.clear()
         self._done = True
-        tracer = self.store.env.tracer
+        env = self.store.env
+        tracer = env.tracer if env.instrumented else None
         if tracer is not None:
             # txn.end comes after release_all so the lock-discipline
             # checker has seen every lock.release for this owner.

@@ -53,7 +53,14 @@ class TcpConnection:
         """
         env = self.server.env
         latency = self.server.latency
-        tracer = env.tracer
+        # One flag read covers tracer + chaos when the sim runs bare
+        # (the common case for benchmarks); see docs/kernel.md.
+        if env.instrumented:
+            tracer = env.tracer
+            chaos = env.chaos
+        else:
+            tracer = None
+            chaos = None
         parent = getattr(request, "trace_parent", None)
         if not self.alive or not self.instance.is_alive:
             self.close()
@@ -61,7 +68,6 @@ class TcpConnection:
                 tracer.point("tcp.drop", f"conn{self.id}", parent=parent,
                              deployment=self.deployment, when="pre-send")
             raise ConnectionDropped(f"connection {self.id} is down")
-        chaos = env.chaos
         if chaos is not None:
             extra = chaos.tcp_extra_delay_ms(self.deployment)
             if extra > 0.0:
@@ -220,7 +226,7 @@ class ClientVM:
         on this VM, paying one intra-VM hop.  Returns a live
         connection or None.
         """
-        metrics = self.env.metrics
+        metrics = self.env.metrics if self.env.instrumented else None
         connection = own_server.find(deployment)
         if connection is not None:
             if metrics is not None:

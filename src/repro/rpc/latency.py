@@ -25,17 +25,30 @@ class LatencyConfig:
 
 
 class LatencyModel:
-    """Draws latencies from a dedicated RNG stream."""
+    """Draws latencies from a dedicated RNG stream.
+
+    The bound ``uniform`` method and the config bounds are cached at
+    construction (the per-draw handles of docs/kernel.md): ``tcp_oneway``
+    runs several times per simulated RPC, and the cached handle makes
+    each draw one call with two float locals instead of four attribute
+    chases.  The draw sequence is identical to calling
+    ``rng.uniform`` directly.
+    """
 
     def __init__(self, rng: random.Random, config: LatencyConfig | None = None) -> None:
         self.rng = rng
         self.config = config or LatencyConfig()
+        self._uniform = rng.uniform
+        self._tcp_lo = self.config.tcp_oneway_min_ms
+        self._tcp_hi = self.config.tcp_oneway_max_ms
+        self._http_lo = self.config.http_oneway_min_ms
+        self._http_hi = self.config.http_oneway_max_ms
 
     def tcp_oneway(self) -> float:
-        return self.rng.uniform(self.config.tcp_oneway_min_ms, self.config.tcp_oneway_max_ms)
+        return self._uniform(self._tcp_lo, self._tcp_hi)
 
     def http_oneway(self) -> float:
-        return self.rng.uniform(self.config.http_oneway_min_ms, self.config.http_oneway_max_ms)
+        return self._uniform(self._http_lo, self._http_hi)
 
     def gateway(self) -> float:
         return self.config.gateway_overhead_ms

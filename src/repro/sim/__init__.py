@@ -19,6 +19,7 @@ Quick example::
     env.run()
 """
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.core import Environment, StopSimulation
 from repro.sim.events import (
     AllOf,
@@ -35,6 +36,7 @@ from repro.sim.rng import RngStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "ConditionValue",
     "Container",
     "Environment",

@@ -1,11 +1,34 @@
-"""The simulation environment: clock, event queue, and run loop."""
+"""The simulation environment: clock, event queue, and run loop.
+
+The event queue is a :class:`repro.sim.calendar.CalendarQueue` — pop
+order is identical to the former global ``heapq`` (time, then priority,
+then insertion order), but push/pop cost tracks local event density
+instead of the global pending count, which is what makes 100k+ client
+runs feasible (see docs/kernel.md).
+
+Instrumentation fast path
+-------------------------
+``tracer``, ``metrics`` and ``chaos`` read and assign exactly as
+before (``env.chaos = engine`` / ``env.tracer = None``), but they are
+properties whose setters precompute two plain attributes:
+
+* ``instrumented`` — True iff *any* of the three subsystems is
+  attached.  Hot instrumentation sites check this single flag first
+  and skip the three per-subsystem ``is None`` checks when the
+  simulation runs bare (the common case for benchmarks).
+* ``_on_step`` — the tracer's bound ``on_step`` hook or ``None``; the
+  run loop reads one attribute per step instead of two.
+
+Attaching a tracer requires an ``on_step`` callable (the determinism
+hash and step counters depend on it being invoked for every event).
+"""
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heappop
 from typing import Any, Generator, Optional
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import Event, Process, Timeout
 
 #: Scheduling priorities.  Lower runs first at equal time.
@@ -29,23 +52,30 @@ class Environment:
     priority then insertion order.
     """
 
+    # Slotted for attribute-lookup speed on the hot paths (schedule,
+    # the run loop, Timeout's inlined push); ``__dict__`` stays so
+    # external code can still hang arbitrary attributes off an env.
+    __slots__ = (
+        "_now", "_queue", "_eid_next", "_steps", "_active_proc",
+        "_tracer", "_metrics", "_chaos", "_on_step", "instrumented",
+        "__dict__", "__weakref__",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list = []
-        self._eid = count()
+        self._queue = CalendarQueue(start=self._now)
+        self._eid_next = 0
+        self._steps = 0
         self._active_proc: Optional[Process] = None
-        #: Optional :class:`repro.trace.Tracer`.  ``None`` (the default)
-        #: keeps tracing zero-cost: one attribute check per step.
-        self.tracer: Optional[Any] = None
-        #: Optional :class:`repro.telemetry.MetricsRegistry` — same
-        #: contract as the tracer: instrumentation sites check
-        #: ``env.metrics is None`` and pay nothing when telemetry is off.
-        self.metrics: Optional[Any] = None
-        #: Optional :class:`repro.chaos.ChaosEngine` — same contract
-        #: again: fault-injection sites check ``env.chaos is None``;
-        #: with no engine attached the simulation is byte-identical to
-        #: a build without the chaos subsystem.
-        self.chaos: Optional[Any] = None
+        self._tracer: Optional[Any] = None
+        self._metrics: Optional[Any] = None
+        self._chaos: Optional[Any] = None
+        self._on_step: Optional[Any] = None
+        #: True iff a tracer, metrics registry, or chaos engine is
+        #: attached.  Plain attribute, recomputed by the property
+        #: setters below; hot paths branch on it before touching the
+        #: individual subsystems.
+        self.instrumented = False
 
     @property
     def now(self) -> float:
@@ -56,6 +86,62 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_proc
+
+    @property
+    def steps(self) -> int:
+        """Total events executed by :meth:`step`/:meth:`run` so far."""
+        return self._steps
+
+    # -- instrumentation attachment points ----------------------------
+    # Reading/assigning these looks exactly like the plain attributes
+    # they used to be; the setters keep ``instrumented``/``_on_step``
+    # coherent so the run loop and instrumentation sites stay cheap.
+    @property
+    def tracer(self) -> Optional[Any]:
+        """Optional :class:`repro.trace.Tracer` (``None`` = tracing off)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Optional[Any]) -> None:
+        self._tracer = value
+        self._on_step = None if value is None else value.on_step
+        self.instrumented = (
+            value is not None
+            or self._metrics is not None
+            or self._chaos is not None
+        )
+
+    @property
+    def metrics(self) -> Optional[Any]:
+        """Optional :class:`repro.telemetry.MetricsRegistry`."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value: Optional[Any]) -> None:
+        self._metrics = value
+        self.instrumented = (
+            value is not None
+            or self._tracer is not None
+            or self._chaos is not None
+        )
+
+    @property
+    def chaos(self) -> Optional[Any]:
+        """Optional :class:`repro.chaos.ChaosEngine`.
+
+        With no engine attached the simulation is byte-identical to a
+        build without the chaos subsystem.
+        """
+        return self._chaos
+
+    @chaos.setter
+    def chaos(self, value: Optional[Any]) -> None:
+        self._chaos = value
+        self.instrumented = (
+            value is not None
+            or self._tracer is not None
+            or self._metrics is not None
+        )
 
     # -- event factories ---------------------------------------------
     def event(self) -> Event:
@@ -78,27 +164,37 @@ class Environment:
         delay: float = 0.0,
     ) -> None:
         """Queue ``event`` to be processed after ``delay``."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
-        )
+        eid = self._eid_next
+        self._eid_next = eid + 1
+        self._queue.push(self._now + delay, priority, eid, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek()
 
     def step(self) -> None:
         """Process the next event in the queue."""
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        entry = self._queue.pop()
+        if entry is None:
+            raise EmptySchedule()
+        when, prio, eid, event = entry
 
         self._now = when
-        if self.tracer is not None:
-            self.tracer.on_step(when, _prio, _eid, event)
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        self._steps += 1
+        on_step = self._on_step
+        if on_step is not None:
+            on_step(when, prio, eid, event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        cls = callbacks.__class__
+        if cls is tuple:  # no subscribers
+            pass
+        elif cls is list:
+            for callback in callbacks:
+                if callback is not None:  # tombstoned by an interrupt
+                    callback(event)
+        else:  # bare callable: exactly one subscriber
+            callbacks(event)
 
         if not event._ok and not event._defused:
             # An unhandled failure crashes the simulation, mirroring an
@@ -127,19 +223,90 @@ class Environment:
                 stop_event._ok = True
                 stop_event._value = None
 
-            stop_event.callbacks.append(_stop_callback)
+            callbacks = stop_event.callbacks
+            if callbacks is None:
+                raise ValueError(f"until event {stop_event!r} already processed")
+            if type(callbacks) is tuple:  # no subscribers yet
+                stop_event.callbacks = _stop_callback
+            elif type(callbacks) is list:
+                callbacks.append(_stop_callback)
+            else:  # one existing subscriber: upgrade to a list
+                stop_event.callbacks = [callbacks, _stop_callback]
 
+        # The body of :meth:`step` inlined with attribute chases hoisted
+        # into locals — including :meth:`CalendarQueue.pop` itself.  The
+        # queue's partitions (``_cur``/``_over``) and its ``_pops``
+        # resize counter live in locals across iterations: pushes from
+        # callbacks mutate the same list objects, and the only code
+        # that *replaces* them (``_refill``/``_rescale``) is re-read
+        # after the two calls below that can reach it.  A re-entrant
+        # ``env.step()``/``env.peek()`` from a callback self-heals: it
+        # can only leave the locals stale-*empty* (``_rescale`` clears
+        # the lists it retires), which routes the next iteration
+        # through ``refill()`` and a fresh re-read.  ``_pops`` is
+        # written back on exit so subsequent ``step()`` calls stay
+        # coherent.
+        queue = self._queue
+        refill = queue._refill
+        check_pops = queue._CHECK_POPS
+        cur = queue._cur
+        over = queue._over
+        # ``steps`` doubles as the pop counter: the next width check
+        # fires when it crosses ``next_check`` (seeded from the
+        # queue's persisted ``_pops`` so step()/run() mixing keeps the
+        # same cadence).
+        next_check = check_pops - queue._pops
+        steps = 0
         try:
             while True:
-                self.step()
+                if over:
+                    if cur and cur[-1] < over[0]:
+                        entry = cur.pop()
+                    else:
+                        entry = heappop(over)
+                elif cur:
+                    entry = cur.pop()
+                else:
+                    if not refill():
+                        break
+                    cur = queue._cur
+                    over = queue._over
+                    continue
+                steps += 1
+                if steps >= next_check:
+                    next_check = steps + check_pops
+                    queue._auto_resize(entry[0])
+                    cur = queue._cur
+                    over = queue._over
+                when, prio, eid, event = entry
+                self._now = when
+                on_step = self._on_step
+                if on_step is not None:
+                    on_step(when, prio, eid, event)
+                callbacks = event.callbacks
+                event.callbacks = None
+                cls = callbacks.__class__
+                if cls is tuple:  # no subscribers (e.g. watchdog timers)
+                    pass
+                elif cls is list:
+                    for callback in callbacks:
+                        if callback is not None:  # tombstoned by interrupt
+                            callback(event)
+                else:  # bare callable: exactly one subscriber
+                    callbacks(event)
+                if not event._ok and not event._defused:
+                    raise event._value
         except StopSimulation as stop:
             return stop.args[0]
-        except EmptySchedule:
-            if stop_event is not None and not stop_event.triggered:
-                raise RuntimeError(
-                    f"no scheduled events left but until={stop_event!r} pending"
-                ) from None
-            return None
+        finally:
+            self._steps += steps
+            queue._pops = check_pops - (next_check - steps)
+
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                f"no scheduled events left but until={stop_event!r} pending"
+            )
+        return None
 
 
 def _stop_callback(event: Event) -> None:

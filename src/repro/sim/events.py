@@ -4,10 +4,30 @@ Events follow the SimPy model: an event is created *pending*, may be
 *triggered* with a value (success) or an exception (failure), and once
 processed by the environment it invokes its registered callbacks.
 Processes are events themselves, so one process can wait for another.
+
+Hot-path notes (see docs/kernel.md):
+
+* Every class here carries ``__slots__`` — at 100k+ concurrent client
+  processes the per-instance ``__dict__`` was a third of the kernel's
+  heap and a measurable share of its attribute-lookup time.  External
+  subclasses without ``__slots__`` still work; they simply get a dict.
+* :meth:`Process._resume` is the single hottest Python frame in the
+  simulator; attribute chases are hoisted into locals.  The bound
+  resume callback *is* cached (``_resume_cb``) to save one bound-method
+  allocation per resume — a reference cycle, but one that is broken by
+  clearing the slot the moment the generator terminates, so dead
+  processes stay refcount-collectable instead of accumulating as
+  cyclic garbage (at 100k processes, full collections over that
+  garbage would dominate the run).
+* Unsubscription on interrupt is O(1): a process remembers the index at
+  which it subscribed (``_target_index``) and tombstones that slot to
+  ``None`` instead of ``list.remove`` scanning the callback list.  The
+  environment's dispatch loop skips ``None`` entries.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -15,6 +35,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 PENDING = object()
 """Sentinel marking an event whose value has not been set yet."""
+
+_NO_CALLBACKS: tuple = ()
+"""Shared empty-callbacks marker: a pending event with no subscribers.
+
+Events are created by the million and the overwhelmingly common cases
+are *zero* subscribers (armed watchdog timeouts) or *exactly one* (the
+process that yielded on the event), so ``Event.callbacks`` uses a
+compact tagged representation instead of always allocating a list:
+
+* this shared empty tuple — pending, no subscribers (no allocation);
+* a bare callable — pending, exactly one subscriber (no allocation);
+* a list — pending, two or more subscribers (may contain ``None``
+  tombstones left by O(1) interrupt unsubscription);
+* ``None`` — already processed.
+
+The kernel's subscription sites (``Process._resume``, ``Condition``,
+``Environment.run``) upgrade the representation in place; external
+code must not assume ``callbacks`` is a list.
+"""
 
 
 class Interrupt(Exception):
@@ -29,9 +68,11 @@ class Interrupt(Exception):
 class Event:
     """An event that may happen at some point in simulated time."""
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list] = []
+        self.callbacks: Any = _NO_CALLBACKS
         self._value: Any = PENDING
         self._ok = True
         self._defused = False
@@ -97,25 +138,55 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed delay."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts are the bulk of all events; the base ``__init__``,
+        # ``Environment.schedule`` *and* ``CalendarQueue.push`` are
+        # inlined here to save three frames on the hottest allocation
+        # path.  The eid counter and the push routing must stay
+        # byte-identical to ``schedule`` (priority is PRIORITY_NORMAL).
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        eid = env._eid_next
+        env._eid_next = eid + 1
+        queue = env._queue
+        t = env._now + delay
+        idx = int(t * queue._inv_width)
+        if idx <= queue._cur_idx:
+            heappush(queue._over, (t, 1, eid, self))
+        elif idx < queue._far_limit:
+            ring = queue._ring
+            slot = idx & queue._mask
+            bucket = ring[slot]
+            if bucket is None:
+                ring[slot] = [(t, 1, eid, self)]
+            else:
+                bucket.append((t, 1, eid, self))
+            queue._ring_count += 1
+        else:
+            heappush(queue._far, (t, 1, eid, self))
 
 
 class Initialize(Event):
     """Internal event that starts a new process on the next step."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self.callbacks = [process._resume]
-        self._ok = True
+        self.env = env
+        # The process is the sole subscriber (bare-callable form);
+        # Process.__init__ records _target_index = 0 to match.
+        self.callbacks = process._resume_cb
         self._value = None
-        env.schedule(self, priority=0)
+        self._ok = True
+        self._defused = False
+        env.schedule(self, 0)  # PRIORITY_URGENT
 
 
 class Process(Event):
@@ -126,11 +197,25 @@ class Process(Event):
     (or the event's exception is thrown into it).
     """
 
+    __slots__ = ("_generator", "_target", "_target_index", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
+        self._target_index = 0
+        # The cached bound resume method is a deliberate reference
+        # cycle (process -> bound method -> process) that saves one
+        # bound-method allocation per resume; it is broken by clearing
+        # the slot the moment the generator terminates, so *dead*
+        # processes remain refcount-collectable and never accumulate as
+        # cyclic garbage (see docs/kernel.md).
+        self._resume_cb = self._resume
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -154,57 +239,83 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         # Jump the queue: deliver the interrupt before normal events.
-        interrupt_event.callbacks = [self._resume_interrupt]
+        interrupt_event.callbacks = self._resume_interrupt
         self.env.schedule(interrupt_event, priority=0)
 
     def _resume_interrupt(self, event: Event) -> None:
         # The process may have ended between scheduling and delivery.
         if self._value is not PENDING:
             return
-        if self._target is not None and self.callbacks is not None:
-            # Unsubscribe from the event we were waiting for.
-            if self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+        target = self._target
+        if target is not None and self.callbacks is not None:
+            # Unsubscribe from the event we were waiting for in O(1).
+            # Bare-callable form: drop back to the no-subscriber
+            # marker.  List form: tombstone the recorded subscription
+            # slot (lists are append-only, so the index recorded at
+            # subscription time still addresses our entry).  Every
+            # subscription installs the one cached ``_resume_cb``
+            # object, so identity checks suffice and make a second
+            # interrupt a no-op.
+            callbacks = target.callbacks
+            if type(callbacks) is list:
+                index = self._target_index
+                if index < len(callbacks) and callbacks[index] is self._resume_cb:
+                    callbacks[index] = None
+            elif callbacks is self._resume_cb:
+                target.callbacks = _NO_CALLBACKS
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_proc = self
+        env = self.env
+        env._active_proc = self
+        generator = self._generator
+        send = generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
                     exc = event._value
-                    next_event = self._generator.throw(type(exc), exc, None)
+                    next_event = generator.throw(type(exc), exc, None)
             except StopIteration as stop:
                 self._ok = True
                 self._value = getattr(stop, "value", None)
-                self.env.schedule(self)
+                self._resume_cb = None  # break the cached-callback cycle
+                env.schedule(self)
                 break
             except BaseException as exc:  # noqa: BLE001 - failure propagates
                 self._ok = False
                 self._value = exc
-                self.env.schedule(self)
+                self._resume_cb = None  # break the cached-callback cycle
+                env.schedule(self)
                 break
 
-            if next_event is None:
-                # ``yield None`` means "yield control, resume immediately".
-                event = Event(self.env)
-                event.succeed()
-            elif isinstance(next_event, Event):
-                event = next_event
-            else:
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
+                if next_event is None:
+                    # ``yield None``: yield control, resume immediately.
+                    event = Event(env)
+                    event.succeed()
+                    continue
                 raise RuntimeError(
                     f"process yielded a non-event: {next_event!r}"
-                )
+                ) from None
+            event = next_event
 
-            if event.callbacks is not None:
-                # Event still pending: wait for it.
-                event.callbacks.append(self._resume)
+            if callbacks is not None:
+                # Event still pending: wait for it, remembering where we
+                # subscribed so an interrupt can unsubscribe in O(1).
+                if callbacks is _NO_CALLBACKS:
+                    event.callbacks = self._resume_cb  # sole subscriber
+                    self._target_index = 0
+                elif type(callbacks) is list:
+                    self._target_index = len(callbacks)
+                    callbacks.append(self._resume_cb)
+                else:  # one existing subscriber: upgrade to a list
+                    event.callbacks = [callbacks, self._resume_cb]
+                    self._target_index = 1
                 self._target = event
                 break
             # Event already processed: loop and resume immediately with
@@ -212,22 +323,36 @@ class Process(Event):
             if not event._ok and not event._defused:
                 event._defused = True
 
-        self.env._active_proc = None
+        env._active_proc = None
 
 
 class ConditionValue:
-    """Ordered mapping of events to values for triggered conditions."""
+    """Ordered mapping of events to values for triggered conditions.
+
+    Preserves trigger order in ``events`` while answering membership
+    and ``[]`` lookups from a parallel identity set in O(1) (events
+    hash by identity; none of them define ``__eq__``).
+    """
+
+    __slots__ = ("events", "_present")
 
     def __init__(self) -> None:
         self.events: list = []
+        self._present: set = set()
+
+    def add(self, event: Event) -> None:
+        """Record ``event`` once, keeping insertion order."""
+        if event not in self._present:
+            self._present.add(event)
+            self.events.append(event)
 
     def __getitem__(self, key: Event) -> Any:
-        if key not in self.events:
+        if key not in self._present:
             raise KeyError(repr(key))
         return key._value
 
     def __contains__(self, key: Event) -> bool:
-        return key in self.events
+        return key in self._present
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ConditionValue):
@@ -255,6 +380,8 @@ class ConditionValue:
 class Condition(Event):
     """Waits for a boolean combination of events."""
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -263,26 +390,40 @@ class Condition(Event):
     ) -> None:
         super().__init__(env)
         self._evaluate = evaluate
-        self._events = list(events)
         self._count = 0
 
-        for event in self._events:
+        # Copy and validate in one pass (all members are validated
+        # before any subscription happens, so a mixed-environment error
+        # leaves no dangling callbacks behind).
+        members: list = []
+        append = members.append
+        for event in events:
             if event.env is not env:
                 raise ValueError("events from different environments")
+            append(event)
+        self._events = members
 
-        for event in self._events:
-            if event.callbacks is None:
-                self._check(event)
-            else:
-                event.callbacks.append(self._check)
-
-        if not self._events and self._value is PENDING:
+        if not members:
             self.succeed(ConditionValue())
+            return
+
+        check = self._check  # one bound method for every subscription
+        for event in members:
+            callbacks = event.callbacks
+            if callbacks is None:
+                check(event)
+            elif callbacks is _NO_CALLBACKS:
+                event.callbacks = check  # sole subscriber
+            elif type(callbacks) is list:
+                callbacks.append(check)
+            else:  # one existing subscriber: upgrade to a list
+                event.callbacks = [callbacks, check]
 
     def _collect(self, value: ConditionValue) -> None:
+        add = value.add
         for event in self._events:
-            if event.callbacks is None and event not in value.events:
-                value.events.append(event)
+            if event.callbacks is None:
+                add(event)
 
     def _check(self, event: Event) -> None:
         if self._value is not PENDING:
@@ -305,12 +446,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggered once every given event has triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda events, count: count >= len(events), events)
 
 
 class AnyOf(Condition):
     """Triggered once any of the given events has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda events, count: count >= 1, events)

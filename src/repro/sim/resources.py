@@ -25,6 +25,8 @@ class Request(Event):
             ...
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -99,6 +101,8 @@ class Resource:
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -109,6 +113,8 @@ class ContainerGet(Event):
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError("amount must be positive")
@@ -164,6 +170,8 @@ class Container:
 
 
 class StoreGet(Event):
+    __slots__ = ("predicate",)
+
     def __init__(self, store: "Store", predicate: Optional[Callable[[Any], bool]]) -> None:
         super().__init__(store.env)
         self.predicate = predicate

@@ -4,13 +4,125 @@ Every stochastic component (HTTP latency, Pareto burst generator,
 replacement coin flips, ...) draws from its own named stream derived
 from a single master seed, so experiments are reproducible and
 components never perturb each other's randomness.
+
+Three amortization layers sit on top of the raw streams, all of them
+**sequence-preserving** — a component that migrates from direct
+``random.Random`` calls to any of these sees the byte-identical value
+sequence, so same-seed event hashes cannot change:
+
+* *cached-method handles* (:meth:`RngStreams.handle`) memoize a bound
+  method of a stream, removing the dict lookup + attribute chase that
+  every hot-path draw otherwise pays;
+* *batch draws* (:meth:`RngStreams.uniform_batch`,
+  :meth:`RngStreams.expovariate_batch`, :meth:`RngStreams.random_batch`)
+  produce ``n`` values with one call, exactly equal to ``n`` sequential
+  single draws from the same stream;
+* :class:`BufferedDraws` prefetches raw ``random()`` blocks from one
+  stream and derives ``uniform``/``expovariate`` values with the same
+  formulas ``random.Random`` uses, so per-call overhead collapses to a
+  list index.  Because it *prefetches*, a buffer must be the stream's
+  **only** consumer; :meth:`RngStreams.buffered` memoizes one buffer
+  per stream name to make that easy to honour.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from math import log as _log
+from typing import Callable, Dict, List, Tuple
+
+
+class BufferedDraws:
+    """Amortized draws from one ``random.Random``.
+
+    Raw ``random()`` values are pulled in blocks; ``uniform`` and
+    ``expovariate`` apply the identical formulas ``random.Random``
+    uses (``a + (b - a) * random()`` and ``-log(1 - random())/lambd``),
+    so call-for-call the values match direct stream draws — provided
+    this buffer is the stream's only consumer (prefetching reorders
+    raw draws relative to any *other* reader of the same stream).
+    """
+
+    __slots__ = ("rng", "_raw", "_block", "_buf", "_i")
+
+    def __init__(self, rng: random.Random, block: int = 256) -> None:
+        if block <= 0:
+            raise ValueError("block must be positive")
+        self.rng = rng
+        self._raw = rng.random
+        self._block = block
+        # ``_i == _block`` means "refill needed"; starting there makes
+        # the first draw refill without a special empty-buffer case.
+        self._buf: List[float] = []
+        self._i = block
+
+    def random(self) -> float:
+        i = self._i
+        if i == self._block:
+            raw = self._raw
+            self._buf = [raw() for _ in range(i)]
+            i = 0
+        self._i = i + 1
+        return self._buf[i]
+
+    def uniform(self, a: float, b: float) -> float:
+        i = self._i
+        if i == self._block:
+            raw = self._raw
+            self._buf = [raw() for _ in range(i)]
+            i = 0
+        self._i = i + 1
+        return a + (b - a) * self._buf[i]
+
+    def expovariate(self, lambd: float) -> float:
+        i = self._i
+        if i == self._block:
+            raw = self._raw
+            self._buf = [raw() for _ in range(i)]
+            i = 0
+        self._i = i + 1
+        return -_log(1.0 - self._buf[i]) / lambd
+
+    # Fixed-arity batch draws: one call serves several draws from the
+    # prefetched block, saving the per-call overhead that dominates
+    # sub-microsecond latency models.  Values are served in exactly
+    # the order the scalar methods would serve them; near a block
+    # boundary the scalar path takes over, so the raw-draw sequence
+    # from the underlying stream is unchanged.
+    def random3(self) -> "Tuple[float, float, float]":
+        i = self._i
+        if i + 3 <= self._block:
+            buf = self._buf
+            self._i = i + 3
+            return buf[i], buf[i + 1], buf[i + 2]
+        r = self.random
+        return r(), r(), r()
+
+    def uniform2(self, a: float, b: float) -> "Tuple[float, float]":
+        i = self._i
+        if i + 2 <= self._block:
+            buf = self._buf
+            self._i = i + 2
+            s = b - a
+            return a + s * buf[i], a + s * buf[i + 1]
+        u = self.uniform
+        return u(a, b), u(a, b)
+
+    def uniform4(self, a: float, b: float) -> "Tuple[float, float, float, float]":
+        i = self._i
+        if i + 4 <= self._block:
+            buf = self._buf
+            self._i = i + 4
+            s = b - a
+            return (a + s * buf[i], a + s * buf[i + 1],
+                    a + s * buf[i + 2], a + s * buf[i + 3])
+        u = self.uniform
+        return u(a, b), u(a, b), u(a, b), u(a, b)
+
+    def pending(self) -> int:
+        """Prefetched-but-unserved draws (diagnostics only)."""
+        return len(self._buf) - self._i if self._buf else 0
 
 
 class RngStreams:
@@ -21,9 +133,13 @@ class RngStreams:
     sequence seen by existing ones.
     """
 
+    __slots__ = ("seed", "_streams", "_handles", "_buffers")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}
+        self._handles: Dict[Tuple[str, str], Callable] = {}
+        self._buffers: Dict[str, BufferedDraws] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the (memoized) stream for ``name``."""
@@ -36,3 +152,49 @@ class RngStreams:
 
     def __call__(self, name: str) -> random.Random:
         return self.stream(name)
+
+    # -- amortized access --------------------------------------------------
+    def handle(self, name: str, method: str = "random") -> Callable:
+        """Memoized bound ``method`` of the named stream.
+
+        ``streams.handle("latency", "uniform")`` is the same callable
+        on every call, so hot paths hoist it once and skip the stream
+        dict lookup plus the method attribute chase per draw.  Draw
+        sequences are untouched — it *is* the stream's own method.
+        """
+        key = (name, method)
+        fn = self._handles.get(key)
+        if fn is None:
+            fn = getattr(self.stream(name), method)
+            self._handles[key] = fn
+        return fn
+
+    def buffered(self, name: str, block: int = 256) -> BufferedDraws:
+        """Memoized :class:`BufferedDraws` over the named stream.
+
+        One buffer per name: every caller asking for the same name
+        shares the buffer, which keeps the single-consumer requirement
+        intact as long as nobody mixes ``buffered(name)`` with direct
+        ``stream(name)`` draws.
+        """
+        buf = self._buffers.get(name)
+        if buf is None:
+            buf = BufferedDraws(self.stream(name), block)
+            self._buffers[name] = buf
+        return buf
+
+    # -- batch draws -------------------------------------------------------
+    def random_batch(self, name: str, n: int) -> List[float]:
+        """``n`` raw draws — equal to ``n`` sequential ``random()`` calls."""
+        raw = self.handle(name, "random")
+        return [raw() for _ in range(n)]
+
+    def uniform_batch(self, name: str, a: float, b: float, n: int) -> List[float]:
+        """``n`` uniform draws — equal to ``n`` ``uniform(a, b)`` calls."""
+        u = self.handle(name, "uniform")
+        return [u(a, b) for _ in range(n)]
+
+    def expovariate_batch(self, name: str, lambd: float, n: int) -> List[float]:
+        """``n`` exponential draws — equal to ``n`` ``expovariate`` calls."""
+        e = self.handle(name, "expovariate")
+        return [e(lambd) for _ in range(n)]

@@ -74,6 +74,8 @@ def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
 class Counter:
     """A monotonically increasing family of values."""
 
+    __slots__ = ("name", "help", "_values")
+
     kind = "counter"
 
     def __init__(self, name: str, help: str = "") -> None:
@@ -103,6 +105,8 @@ class Counter:
 
 class Gauge:
     """A family of instantaneous values, set directly or via callback."""
+
+    __slots__ = ("name", "help", "_values", "_callbacks")
 
     kind = "gauge"
 
@@ -150,6 +154,8 @@ class Histogram:
     are derivable); the full cumulative bucket vector appears in the
     Prometheus text dump.
     """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sums")
 
     kind = "histogram"
 

@@ -1,0 +1,46 @@
+"""Golden determinism hashes for the kernel under the chaos engine.
+
+The calendar-queue scheduler and every other kernel optimisation must
+be *observationally* invisible: same seed, same executed event
+sequence, bit for bit.  This pins the traced ``ack-loss`` regression
+scenario to literal hashes — the tracer's streaming blake2b event hash
+and the chaos engine's fault-log hash — recorded from the pre-calendar
+heap kernel.  Any scheduler change that reorders even one event flips
+the event hash; any change to fault timing flips the log hash.
+
+The global id counters are reset first (``reset_sim_counters``), so
+the run sees exactly what a fresh interpreter would — the condition
+under which the goldens were recorded.
+"""
+
+import pytest
+
+from repro.chaos import ChaosRunConfig, RecoverySLO, run_scenario
+from repro.chaos.scenarios import builtin_scenarios
+
+pytestmark = [pytest.mark.chaos, pytest.mark.kernel, pytest.mark.slow]
+
+
+GOLDEN_CONFIG = ChaosRunConfig(
+    seed=0,
+    clients=24,
+    deployments=4,
+    write_fraction=0.15,
+    think_ms=40.0,
+    telemetry_interval_ms=250.0,
+    drain_ms=8_000.0,
+    slo=RecoverySLO(window_ms=10_000.0),
+)
+
+#: Recorded from the global-heap kernel; the calendar queue reproduces
+#: them bit for bit.
+GOLDEN_EVENT_HASH = "afad0c800030eb30503a49d37a0b8a4b"
+GOLDEN_LOG_HASH = "2275e4049ac65a812ef6bb753e569615"
+GOLDEN_OPS_OK = 8268
+
+
+def test_ack_loss_scenario_matches_golden_hashes(reset_sim_counters):
+    result = run_scenario(builtin_scenarios()["ack-loss"], GOLDEN_CONFIG)
+    assert result.event_hash == GOLDEN_EVENT_HASH
+    assert result.log_hash == GOLDEN_LOG_HASH
+    assert result.ops_ok == GOLDEN_OPS_OK

@@ -1,0 +1,189 @@
+"""Property and unit tests for the calendar-queue scheduler.
+
+The load-bearing invariant: for any push/pop interleaving, pop order is
+identical to a global ``(time, priority, eid)`` heap — ascending time,
+ties broken by priority then insertion order — regardless of bucket
+width, ring size, resize activity, or which internal partition (active
+bucket, overflow heap, ring, far heap) each entry traversed.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim import CalendarQueue
+
+
+def _drain(queue):
+    out = []
+    while True:
+        entry = queue.pop()
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+def _reference_order(entries):
+    return sorted(entries, key=lambda e: (e[0], e[1], e[2]))
+
+
+class TestOrdering:
+    def test_empty(self):
+        q = CalendarQueue()
+        assert q.pop() is None
+        assert len(q) == 0
+        assert q.peek() == float("inf")
+
+    def test_single(self):
+        q = CalendarQueue()
+        q.push(3.5, 1, 0, "a")
+        assert q.peek() == 3.5
+        assert q.pop() == (3.5, 1, 0, "a")
+        assert q.pop() is None
+
+    def test_time_then_priority_then_eid(self):
+        q = CalendarQueue()
+        q.push(1.0, 1, 0, "late-normal")
+        q.push(1.0, 0, 1, "late-urgent")
+        q.push(0.5, 1, 2, "early")
+        q.push(1.0, 1, 3, "late-normal-2")
+        assert [e[3] for e in _drain(q)] == [
+            "early", "late-urgent", "late-normal", "late-normal-2"
+        ]
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("width", [1e-4, 0.5, 100.0])
+    def test_random_schedule_matches_heap(self, seed, width):
+        rng = random.Random(seed)
+        q = CalendarQueue(width=width, ring=8192)
+        entries = []
+        for eid in range(2000):
+            # Mix of clustered near-term, spread, and far-future times.
+            roll = rng.random()
+            if roll < 0.5:
+                t = rng.uniform(0.0, 10.0)
+            elif roll < 0.9:
+                t = rng.uniform(0.0, 1000.0)
+            else:
+                t = rng.uniform(0.0, 1e7)  # far beyond any ring window
+            entry = (t, rng.choice([0, 1]), eid, f"e{eid}")
+            entries.append(entry)
+            q.push(*entry)
+        assert len(q) == len(entries)
+        assert _drain(q) == _reference_order(entries)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interleaved_push_pop_matches_heap(self, seed):
+        """Advancing-frontier interleaving, as the kernel drives it."""
+        rng = random.Random(1000 + seed)
+        q = CalendarQueue(width=0.25)
+        heap = []
+        popped = []
+        eid = 0
+        now = 0.0
+        for _ in range(300):
+            for _ in range(rng.randrange(1, 12)):
+                # Occasionally schedule exactly at the frontier
+                # (delay-0: the overflow-heap path), else ahead of it.
+                delay = 0.0 if rng.random() < 0.2 else rng.uniform(0.0, 50.0)
+                entry = (now + delay, rng.choice([0, 1]), eid, eid)
+                heapq.heappush(heap, entry)
+                q.push(*entry)
+                eid += 1
+            for _ in range(rng.randrange(0, 10)):
+                expected = heapq.heappop(heap) if heap else None
+                got = q.pop()
+                assert got == expected
+                if got is None:
+                    break
+                now = got[0]
+                popped.append(got)
+        assert _drain(q) == [heapq.heappop(heap) for _ in range(len(heap))]
+
+    def test_same_time_burst_pops_in_insertion_order(self):
+        """Models the t=0 process-initialize burst (overflow heap)."""
+        q = CalendarQueue()
+        for eid in range(5000):
+            q.push(0.0, 0, eid, eid)
+        assert [e[3] for e in _drain(q)] == list(range(5000))
+
+    def test_push_behind_frontier_pops_immediately(self):
+        q = CalendarQueue(width=0.5)
+        q.push(100.0, 1, 0, "a")
+        assert q.pop() == (100.0, 1, 0, "a")
+        # Frontier has advanced to t=100; a push before it must still
+        # surface before anything later.
+        q.push(200.0, 1, 1, "c")
+        q.push(1.0, 1, 2, "b")
+        assert [e[3] for e in _drain(q)] == ["b", "c"]
+
+
+class TestResizeMachinery:
+    def test_auto_resize_changes_width_without_reordering(self):
+        # Dense schedule with a width far too coarse: after enough
+        # pops the one-shot density targeting must shrink the width.
+        q = CalendarQueue(width=100.0)
+        entries = []
+        rng = random.Random(42)
+        for eid in range(20000):
+            entry = (rng.uniform(0.0, 20.0), 1, eid, eid)
+            entries.append(entry)
+            q.push(*entry)
+        assert _drain(q) == _reference_order(entries)
+        assert q.resizes >= 1
+        assert q.width < 100.0
+
+    def test_grow_skipped_without_pressure(self):
+        # Density drifted far above the grow hysteresis (~192x the
+        # width target) but with no actual pressure: every entry is
+        # inside the ring window (far heap empty) and the frontier
+        # walks only ~1 empty slot per pop.  Growing would be a pure
+        # rebuild with no benefit, so the resizer must not fire.
+        q = CalendarQueue(width=0.1, ring=1 << 16)
+        eid = 0
+        t = 0.0
+        entries = []
+        rng = random.Random(7)
+        for _ in range(3 * q._CHECK_POPS):
+            t += rng.uniform(0.05, 0.15)  # ~one entry per slot
+            entries.append((t, 1, eid, eid))
+            eid += 1
+        for entry in entries:
+            q.push(*entry)
+        assert _drain(q) == entries
+        assert q.resizes == 0
+
+    def test_far_heap_round_trip(self):
+        # Entries beyond the window park in the far heap and must
+        # reintegrate exactly when the frontier reaches them.
+        q = CalendarQueue(width=0.01, ring=8192)  # window = 81.92
+        entries = []
+        rng = random.Random(3)
+        for eid in range(4000):
+            entry = (rng.uniform(0.0, 5000.0), 1, eid, eid)
+            entries.append(entry)
+            q.push(*entry)
+        assert q.stats()["far"] > 0
+        assert _drain(q) == _reference_order(entries)
+
+    def test_len_and_stats_track_partitions(self):
+        q = CalendarQueue(width=1.0, ring=8192)
+        q.push(0.0, 1, 0, "over")      # current bucket
+        q.push(10.0, 1, 1, "ring")     # ring window
+        q.push(1e9, 1, 2, "far")       # far heap
+        assert len(q) == 3
+        stats = q.stats()
+        assert stats["size"] == 3
+        assert stats["far"] == 1
+        assert stats["ring_entries"] == 1
+        for _ in range(3):
+            q.pop()
+        assert len(q) == 0
+        assert q.stats()["size"] == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(ring=1000)  # not a power of two
