@@ -108,12 +108,16 @@ def _lambda_config(
     faas_overrides: dict,
     client_overrides: dict,
     namenode_overrides: dict,
+    datanode_overrides: dict,
 ) -> LambdaFSConfig:
     base = LambdaFSConfig(num_deployments=deployments, seed=seed)
     faas = replace(base.faas, cluster_vcpus=float(vcpus), **faas_overrides)
     client = replace(base.client, **client_overrides)
     namenode = replace(base.namenode, **namenode_overrides)
-    config = replace(base, faas=faas, client=client, namenode=namenode)
+    datanodes = replace(base.datanodes, **datanode_overrides)
+    config = replace(
+        base, faas=faas, client=client, namenode=namenode, datanodes=datanodes
+    )
     if ndb is not None:
         config = replace(config, ndb=ndb)
     return config
@@ -129,6 +133,7 @@ def build_lambdafs(
     faas_overrides: Optional[dict] = None,
     client_overrides: Optional[dict] = None,
     namenode_overrides: Optional[dict] = None,
+    datanode_overrides: Optional[dict] = None,
     name: str = "λFS",
     trace: bool = False,
     telemetry: bool = False,
@@ -141,6 +146,7 @@ def build_lambdafs(
     config = _lambda_config(
         vcpus, deployments, seed, ndb,
         faas_overrides or {}, client_overrides or {}, namenode_overrides or {},
+        datanode_overrides or {},
     )
     # An admin sizes the deployment count to the platform's capacity
     # (n is configurable, §2 Terminology): more deployments than the

@@ -36,6 +36,7 @@ from repro.chaos.runner import (
     ChaosRunResult,
     run_matrix,
     run_scenario,
+    scenario_needs_datanodes,
 )
 from repro.chaos.scenario import (
     FaultSpec,
@@ -44,6 +45,7 @@ from repro.chaos.scenario import (
     save_scenario,
 )
 from repro.chaos.scenarios import (
+    DATANODE_MATRIX,
     EXPECTED_FAIL,
     MATRIX,
     builtin_scenarios,
@@ -56,6 +58,7 @@ __all__ = [
     "ChaosRunConfig",
     "ChaosRunResult",
     "ChaosVerifier",
+    "DATANODE_MATRIX",
     "EXPECTED_FAIL",
     "FAULT_TYPES",
     "Fault",
@@ -79,5 +82,6 @@ __all__ = [
     "run_matrix",
     "run_scenario",
     "save_scenario",
+    "scenario_needs_datanodes",
     "validate_scenario",
 ]

@@ -69,11 +69,13 @@ class ChaosEngine:
         coordinator: Any = None,
         store: Any = None,
         seed: int = 0,
+        fleet: Any = None,
     ) -> None:
         self.env = env
         self.platform = platform
         self.coordinator = coordinator
         self.store = store
+        self.fleet = fleet
         self.seed = seed
         self.rng = derive_rng(seed, "chaos")
         self.scenario: Optional[Scenario] = None
@@ -249,6 +251,22 @@ class ChaosEngine:
                 factor *= float(fault.params.get("factor", 2.0))
         return factor
 
+    def datanode_disk_factor(
+        self, node_id: str, rack: Optional[str] = None
+    ) -> float:
+        """Disk service-time multiplier for one DataNode.
+
+        Stacks the factors of every active ``disk_slow`` fault whose
+        rack/datanode scope matches.  Pure computation — no RNG, no
+        logging — so calling it from every disk write perturbs
+        nothing.
+        """
+        factor = 1.0
+        for fault in self._active.get("disk_slow", ()):
+            if fault.matches_datanode(node_id, rack):
+                factor *= fault.factor
+        return factor
+
     def ack_should_drop(self, deployment: str, member_id: str) -> bool:
         """True when this member's INV ACK is lost."""
         for fault in self._active.get("ack_loss", ()):
@@ -270,6 +288,7 @@ def install_chaos(
     coordinator: Any = None,
     store: Any = None,
     seed: int = 0,
+    fleet: Any = None,
 ) -> ChaosEngine:
     """Attach a :class:`ChaosEngine` to ``env.chaos``.
 
@@ -285,8 +304,13 @@ def install_chaos(
             else getattr(system, "coordinator", None)
         )
         store = store if store is not None else getattr(system, "store", None)
+        fleet = (
+            fleet if fleet is not None
+            else getattr(system, "datanode_fleet", None)
+        )
     engine = ChaosEngine(
-        env, platform=platform, coordinator=coordinator, store=store, seed=seed
+        env, platform=platform, coordinator=coordinator, store=store, seed=seed,
+        fleet=fleet,
     )
     env.chaos = engine
     return engine

@@ -642,6 +642,122 @@ class CapacityCrunchFault(Fault):
         self._saved = None
 
 
+# -- data plane ---------------------------------------------------------
+
+class DataNodeKillFault(Fault):
+    """Crash ``count`` DataNodes, one per ``interval_ms`` while active.
+
+    Victims are drawn from the currently-alive nodes via the engine's
+    seeded RNG, so same-seed runs kill the same nodes at the same
+    times.  Killed nodes stay down (their heartbeats stop, the tracker
+    declares them dead after the miss threshold, and the
+    re-replication scanner restores replication factor) unless
+    ``restart_after_ms`` is given, in which case each victim comes
+    back that long after its kill — the flapping-node case.
+
+    ``disable_repair`` switches the fleet's background re-replication
+    off **permanently** (a dead repair daemon, not a config window):
+    restoring it at deactivation would let repairs complete within the
+    SLO window and mask the breakage this expected-FAIL path exists to
+    surface.
+    """
+
+    kind = "datanode_kill"
+    requires_duration = True
+    allowed_params = ("count", "interval_ms", "disable_repair", "restart_after_ms")
+
+    def __init__(self, spec: FaultSpec, engine: Any = None) -> None:
+        super().__init__(spec, engine)
+        self._proc = None
+        self.killed: List[str] = []
+
+    def validate(self) -> None:
+        if int(self.params.get("count", 1)) < 1:
+            raise ValueError(f"{self.kind}: count must be >= 1")
+        if float(self.params.get("interval_ms", 400.0)) <= 0:
+            raise ValueError(f"{self.kind}: interval_ms must be > 0")
+        restart = self.params.get("restart_after_ms")
+        if restart is not None and float(restart) <= 0:
+            raise ValueError(f"{self.kind}: restart_after_ms must be > 0")
+
+    def on_activate(self) -> None:
+        engine = self.engine
+        fleet = getattr(engine, "fleet", None)
+        if fleet is None:
+            engine._log(self.kind, "inject", note="no-fleet")
+            return
+        if self.params.get("disable_repair", False):
+            fleet.repair_enabled = False
+            engine._log(self.kind, "inject", note="repair-disabled")
+        self._proc = engine.env.process(self._loop(fleet))
+
+    def on_deactivate(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt()
+        self._proc = None
+
+    def _loop(self, fleet: Any) -> Generator:
+        engine = self.engine
+        count = int(self.params.get("count", 1))
+        interval = float(self.params.get("interval_ms", 400.0))
+        restart_after = self.params.get("restart_after_ms")
+        try:
+            for _ in range(count):
+                yield engine.env.timeout(interval)
+                victims = fleet.live_node_ids()
+                if not victims:
+                    engine._log(self.kind, "inject", note="no-live-nodes")
+                    return
+                victim = victims[engine.rng.randrange(len(victims))]
+                fleet.kill(victim)
+                self.killed.append(victim)
+                engine._log(self.kind, "inject", datanode=victim)
+                if restart_after is not None:
+                    engine.env.process(
+                        self._restart_later(fleet, victim, float(restart_after))
+                    )
+        except Interrupt:
+            return
+
+    def _restart_later(
+        self, fleet: Any, victim: str, delay_ms: float
+    ) -> Generator:
+        yield self.engine.env.timeout(delay_ms)
+        fleet.restart(victim)
+        self.engine._log(self.kind, "inject", datanode=victim, phase="restart")
+
+
+class DiskSlowFault(Fault):
+    """Multiply DataNode disk service times by ``factor`` while active.
+
+    A pure query fault (no processes, no RNG): instrumented disk
+    writes ask :meth:`ChaosEngine.datanode_disk_factor` and stack the
+    factors of every matching active fault.  Scope with ``rack`` or
+    ``datanode`` to degrade one failure domain — the
+    slow-disk-in-one-rack regime that drags pipelined writes whose
+    chain crosses that rack.
+    """
+
+    kind = "disk_slow"
+    requires_duration = True
+    allowed_params = ("factor", "rack", "datanode")
+
+    def validate(self) -> None:
+        if float(self.params.get("factor", 4.0)) <= 0:
+            raise ValueError(f"{self.kind}: factor must be > 0")
+
+    def matches_datanode(self, node_id: str, rack: Optional[str]) -> bool:
+        want_node = self.params.get("datanode")
+        if want_node is not None and want_node != node_id:
+            return False
+        want_rack = self.params.get("rack")
+        return want_rack is None or want_rack == rack
+
+    @property
+    def factor(self) -> float:
+        return float(self.params.get("factor", 4.0))
+
+
 # -- registry -----------------------------------------------------------
 
 FAULT_TYPES: Dict[str, Type[Fault]] = {
@@ -661,6 +777,8 @@ FAULT_TYPES: Dict[str, Type[Fault]] = {
         NameNodeKillFault,
         ColdStartStormFault,
         CapacityCrunchFault,
+        DataNodeKillFault,
+        DiskSlowFault,
     )
 }
 

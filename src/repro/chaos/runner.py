@@ -37,6 +37,17 @@ from repro.workloads import MicroBenchmark
 from repro.chaos.engine import ChaosEngine, install_chaos
 from repro.chaos.scenario import Scenario
 from repro.chaos.verifier import ChaosVerifier, RecoverySLO, VerifierReport
+from repro.datanode import DataNodeFleet, DataNodeFleetConfig
+
+#: Fault kinds that only do anything against a DataNode fleet.
+DATANODE_FAULT_KINDS = ("datanode_kill", "disk_slow")
+
+
+def scenario_needs_datanodes(scenario: Scenario) -> bool:
+    """True when ``scenario`` injects data-plane faults."""
+    return any(
+        spec.kind in DATANODE_FAULT_KINDS for spec in scenario.faults
+    )
 
 #: Typed errors a chaos client absorbs and retries past.
 RECOVERABLE_ERRORS = (ConnectionDropped, InstanceTerminated, RequestTimeout)
@@ -68,6 +79,18 @@ class ChaosRunConfig:
     still in flight then are hung by definition."""
     tree: TreeSpec = field(default_factory=lambda: TreeSpec(depth=3))
     slo: RecoverySLO = field(default_factory=RecoverySLO)
+    datanodes: Optional[int] = None
+    """DataNode fleet size.  None = auto: 9 when the scenario injects
+    data-plane faults, 0 (no fleet, the legacy byte-identical
+    configuration) otherwise.  Explicit 0 always disables."""
+    datanode_racks: int = 3
+    datanode_start: bool = True
+    """False attaches the fleet without spawning any of its processes
+    (the attached-but-idle determinism regression)."""
+    chunk_write_fraction: float = 0.25
+    """Slice of ops that are pipelined chunk writes (only drawn when a
+    fleet is attached and this is > 0 — a zero fraction consumes no
+    extra randomness, keeping fleet-less streams unchanged)."""
 
 
 @dataclass
@@ -83,6 +106,8 @@ class ChaosRunResult:
     duration_ms: float
     event_hash: str
     log_hash: str
+    fleet: Optional[object] = None
+    """The :class:`repro.datanode.DataNodeFleet`, when one ran."""
 
     @property
     def passed(self) -> bool:
@@ -109,11 +134,17 @@ def _client_loop(
     config: ChaosRunConfig,
     counts: Dict[str, int],
     errors: Dict[str, int],
+    fleet=None,
 ) -> Generator:
+    # The chunk-write draw only exists when it can matter; with no
+    # fleet the stream consumes exactly one draw per op, as before.
+    chunk_writes = fleet is not None and config.chunk_write_fraction > 0.0
     while env.now < issue_until:
         path = paths[rng.randrange(len(paths))]
         try:
-            if rng.random() < config.write_fraction:
+            if chunk_writes and rng.random() < config.chunk_write_fraction:
+                response = yield from client.write_block(path)
+            elif rng.random() < config.write_fraction:
                 response = yield from client.set_permission(path, 0o644)
             else:
                 response = yield from client.read_file(path)
@@ -136,6 +167,28 @@ def run_scenario(
     config = config or ChaosRunConfig()
     env = Environment()
     tree = generate_tree(replace(config.tree, seed=config.seed))
+    datanodes = config.datanodes
+    if datanodes is None:
+        datanodes = 9 if scenario_needs_datanodes(scenario) else 0
+    fleet_config = None
+    build_extra = {}
+    if datanodes > 0:
+        fleet_config = DataNodeFleetConfig(
+            count=datanodes, racks=config.datanode_racks
+        )
+        if config.datanode_start:
+            # A *running* fleet replaces the legacy report publisher;
+            # a stale-row filter makes the NameNodes drop DataNodes
+            # that stopped publishing (i.e. died).  An attached-but-
+            # idle fleet publishes nothing, so the build must stay
+            # byte-identical to the fleet-less configuration.
+            build_extra = {
+                "datanode_overrides": {"count": 0},
+                "namenode_overrides": {
+                    "datanode_stale_after_ms":
+                        2.0 * fleet_config.publish_interval_ms,
+                },
+            }
     handle = build_lambdafs(
         env,
         tree,
@@ -148,8 +201,17 @@ def run_scenario(
         trace=True,
         telemetry=True,
         telemetry_interval_ms=config.telemetry_interval_ms,
+        **build_extra,
     )
     fs = handle.system
+    fleet = None
+    if fleet_config is not None:
+        fleet = DataNodeFleet(
+            env, fleet_config, seed=config.seed, store=fs.store
+        )
+        fs.datanode_fleet = fleet
+        if config.datanode_start:
+            fleet.start()
     clients = handle.make_clients(config.clients)
     drive(env, fs.prewarm(config.instances_per_deployment))
     if config.prelude_ops > 0:
@@ -173,6 +235,7 @@ def run_scenario(
         env.process(_client_loop(
             env, client, tree.files, rngs.stream(f"chaos-client:{index}"),
             issue_until, config, counts, errors,
+            fleet=fleet if config.datanode_start else None,
         ))
         for index, client in enumerate(clients)
     ]
@@ -192,6 +255,7 @@ def run_scenario(
         ),
         engine=engine,
         slo=config.slo,
+        fleet=fleet if config.datanode_start else None,
     )
     report = verifier.verify()
     return ChaosRunResult(
@@ -204,6 +268,7 @@ def run_scenario(
         duration_ms=env.now,
         event_hash=handle.tracer.event_hash(),
         log_hash=engine.log_hash(),
+        fleet=fleet,
     )
 
 

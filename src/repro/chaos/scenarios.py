@@ -30,8 +30,15 @@ MATRIX: Tuple[str, ...] = (
     "ack-loss",
 )
 
+#: The data-plane matrix (needs a DataNode fleet; ``repro chaos
+#: matrix --scenarios datanode-kill disk-slow``).
+DATANODE_MATRIX: Tuple[str, ...] = (
+    "datanode-kill",
+    "disk-slow",
+)
+
 #: Scenarios whose verifier verdict is expected to be FAIL.
-EXPECTED_FAIL: Tuple[str, ...] = ("ack-loss-noretry",)
+EXPECTED_FAIL: Tuple[str, ...] = ("ack-loss-noretry", "datanode-kill-norepair")
 
 
 def builtin_scenarios() -> Dict[str, Scenario]:
@@ -128,6 +135,36 @@ def builtin_scenarios() -> Dict[str, Scenario]:
                 FaultSpec("capacity_crunch", at_ms=1_500.0,
                           duration_ms=3_000.0, params={"fraction": 0.08}),
                 FaultSpec("tcp_sever", at_ms=1_600.0),
+            ),
+        ),
+        Scenario(
+            name="datanode-kill",
+            description="2 of the DataNode fleet crash 400 ms apart; the "
+                        "re-replication scanner must restore replication "
+                        "factor within the SLO window",
+            faults=(
+                FaultSpec("datanode_kill", at_ms=2_000.0, duration_ms=1_000.0,
+                          params={"count": 2, "interval_ms": 400.0}),
+            ),
+        ),
+        Scenario(
+            name="datanode-kill-norepair",
+            description="broken recovery path: same kills with the "
+                        "re-replication scanner dead — blocks stay "
+                        "under-replicated; the verifier MUST fail this run",
+            faults=(
+                FaultSpec("datanode_kill", at_ms=2_000.0, duration_ms=1_000.0,
+                          params={"count": 2, "interval_ms": 400.0,
+                                  "disable_repair": True}),
+            ),
+        ),
+        Scenario(
+            name="disk-slow",
+            description="every disk in rack0 runs 8x slower for 3 s — "
+                        "pipelines crossing the rack drag, nothing dies",
+            faults=(
+                FaultSpec("disk_slow", at_ms=1_500.0, duration_ms=3_000.0,
+                          params={"factor": 8.0, "rack": "rack0"}),
             ),
         ),
         Scenario(

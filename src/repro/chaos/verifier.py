@@ -39,6 +39,9 @@ class RecoverySLO:
     """Recovered hit-rate ≥ band × baseline hit-rate."""
     min_baseline_samples: int = 2
     """Pre-fault intervals (with ops) needed to form a baseline."""
+    replication_window_ms: Optional[float] = None
+    """How long after the last fault clears replication factor must be
+    restored (gate 4; defaults to ``window_ms`` when None)."""
 
 
 @dataclass
@@ -56,6 +59,10 @@ class VerifierReport:
     recovered_hit_rate: Optional[float] = None
     recovery_time_ms: Optional[float] = None
     """Last-fault-clear → first interval back inside the band."""
+    lost_blocks: List[int] = field(default_factory=list)
+    """Blocks with zero live replicas at verification time."""
+    replication_recovery_ms: Optional[float] = None
+    """Last-fault-clear → last re-replication repair completing."""
 
     def _ok(self, message: str) -> None:
         self.checks.append(f"PASS {message}")
@@ -110,17 +117,20 @@ class ChaosVerifier:
         timeseries: Any = None,
         engine: Any = None,
         slo: Optional[RecoverySLO] = None,
+        fleet: Any = None,
     ) -> None:
         self.tracer = tracer
         self.timeseries = timeseries
         self.engine = engine
         self.slo = slo or RecoverySLO()
+        self.fleet = fleet
 
     def verify(self) -> VerifierReport:
         report = VerifierReport()
         self._check_invariants(report)
         self._check_liveness(report)
         self._check_slos(report)
+        self._check_replication(report)
         return report
 
     # -- gate 1: invariants --------------------------------------------
@@ -153,6 +163,64 @@ class ChaosVerifier:
             report._fail(f"liveness: {len(hung)} client op(s) never terminated")
         else:
             report._ok("liveness: every client op terminated")
+
+    # -- gate 4: replication factor ------------------------------------
+    def _check_replication(self, report: VerifierReport) -> None:
+        """Replication factor restored within the SLO window.
+
+        Three ways to fail, checked from the fleet's current state and
+        the scanner's repair records:
+
+        * **lost blocks** — any block whose every replica sits on a
+          dead node is unrecoverable data loss, a hard FAIL (never a
+          silent empty placement);
+        * **standing deficit** — blocks still below target RF when the
+          run ends (the dead-repair-daemon case);
+        * **late repairs** — every repair must complete by
+          ``clear + replication_window_ms`` (``window_ms`` when unset).
+        """
+        if self.fleet is None:
+            report._skip("replication (no DataNode fleet)")
+            return
+        scanner = self.fleet.scanner
+        deficits = scanner.under_replicated()
+        lost = sorted(bid for bid, holders in deficits.items() if not holders)
+        if lost:
+            report.lost_blocks = lost
+            report._fail(
+                f"replication: {len(lost)} block(s) lost "
+                f"(zero live replicas): {lost[:8]}"
+            )
+            return
+        if deficits:
+            report._fail(
+                f"replication: {len(deficits)} block(s) still "
+                "under-replicated at end of run"
+            )
+            return
+        _first, clear = self._fault_window()
+        repairs = scanner.records
+        if clear is not None and repairs is not None and repairs:
+            window = self.slo.replication_window_ms
+            if window is None:
+                window = self.slo.window_ms
+            deadline = clear + window
+            late = [r for r in repairs if r.restored_ms > deadline]
+            last_restore = max(r.restored_ms for r in repairs)
+            report.replication_recovery_ms = max(0.0, last_restore - clear)
+            if late:
+                report._fail(
+                    f"replication: {len(late)} repair(s) finished after the "
+                    f"{window:.0f} ms window (last at "
+                    f"{last_restore - clear:+.0f} ms past clear)"
+                )
+                return
+            report._ok(
+                f"replication: RF restored, {len(repairs)} repair(s) done "
+                f"{report.replication_recovery_ms:.0f} ms after faults cleared"
+            )
+            return
+        report._ok("replication: no under-replicated blocks")
 
     # -- gate 3: recovery SLOs -----------------------------------------
     def _fault_window(self) -> Tuple[Optional[float], Optional[float]]:

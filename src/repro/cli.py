@@ -394,6 +394,8 @@ def _chaos_run_config(args):
         telemetry_interval_ms=args.interval,
         drain_ms=args.drain,
         slo=RecoverySLO(window_ms=args.window),
+        datanodes=args.datanodes,
+        chunk_write_fraction=args.chunk_write_frac,
     )
 
 
@@ -489,6 +491,17 @@ def _cmd_chaos(args) -> int:
                 "event_hash": result.event_hash,
                 "fault_log_hash": result.log_hash,
             }
+            if result.fleet is not None:
+                scanner = result.fleet.scanner
+                records[name].update({
+                    "datanodes": len(result.fleet.nodes),
+                    "datanodes_dead": len(result.fleet.tracker.dead()),
+                    "blocks": len(result.fleet.blocks),
+                    "repairs": len(scanner.records),
+                    "lost_blocks": sorted(scanner.lost),
+                    "replication_recovery_ms":
+                        result.report.replication_recovery_ms,
+                })
             if not ok:
                 print(result.report.render())
         print(tabulate(
@@ -693,6 +706,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recovery-SLO window after faults clear (sim-ms)")
         p.add_argument("--drain", type=float, default=8_000.0,
                        help="grace beyond the SLO window before cutoff")
+        p.add_argument("--datanodes", type=int, default=None,
+                       help="DataNode fleet size (default: auto — 9 for "
+                            "data-plane scenarios, none otherwise)")
+        p.add_argument("--chunk-write-frac", type=float, default=0.25,
+                       help="fraction of ops that are pipelined chunk "
+                            "writes when a fleet is attached")
 
     chaos_run = chaos_sub.add_parser(
         "run", help="one scenario under load + recovery verification"

@@ -102,6 +102,25 @@ class LambdaFSClient:
     def set_permission(self, path: str, mode: int) -> Generator:
         return (yield from self.execute(OpType.SET_PERMISSION, path, payload=mode))
 
+    def write_block(self, path: str) -> Generator:
+        """HDFS-style data write: resolve metadata, then pipeline chunks.
+
+        The metadata op (a READ_FILE resolving the inode and block
+        ids) goes through the normal RPC path; the data then streams
+        through the attached DataNode fleet's replica pipelines, one
+        per block.  With no fleet attached this degrades to the plain
+        metadata read — byte-identical to the pre-data-plane path.
+        """
+        response = yield from self.read_file(path)
+        fleet = self.fs.datanode_fleet
+        if fleet is None or not response.ok:
+            return response
+        view = response.value or {}
+        inode = view.get("inode") if isinstance(view, dict) else None
+        for block_id in getattr(inode, "block_ids", ()) or ():
+            yield from fleet.client_write(block_id, actor=self.id)
+        return response
+
     def execute(
         self,
         op: OpType,

@@ -75,6 +75,9 @@ class LambdaFS:
         self.partitioner = NamespacePartitioner(self.config.num_deployments)
         self.subtree = SubtreeProtocol(self, self.config.subtree)
         self.datanodes = DataNodeService(env, self.store, self.config.datanodes)
+        #: Optional live data plane (a :class:`repro.datanode.DataNodeFleet`);
+        #: attached by the harness/runner, None in pure metadata runs.
+        self.datanode_fleet = None
         self.metrics = MetricsRecorder()
         self.metrics.attach_cache_stats(self.aggregate_cache_stats)
         for name in self.partitioner.deployment_names():

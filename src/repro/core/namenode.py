@@ -42,6 +42,11 @@ class NameNodeConfig:
     """Extra CPU for write orchestration (locking, coherence)."""
     result_cache_ttl_ms: float = 30_000.0
     datanode_refresh_ms: float = 5_000.0
+    datanode_stale_after_ms: float | None = None
+    """Drop DataNodes whose last published report is older than this
+    from the placement view (a dead node stops publishing, so its row
+    goes stale).  None keeps every published row, the legacy
+    behaviour."""
     txn_retries: int = 8
 
 
@@ -271,7 +276,18 @@ class LambdaNameNode:
             return rows
 
         rows = yield from self.fs.store.run_transaction(body)
-        self._datanode_view = sorted(key[-1] for key in rows)
+        stale_after = self.config.datanode_stale_after_ms
+        view = []
+        for key, report in rows.items():
+            if not getattr(report, "healthy", True):
+                continue
+            if stale_after is not None and (
+                env.now - getattr(report, "published_at_ms", env.now)
+                > stale_after
+            ):
+                continue
+            view.append(key[-1])
+        self._datanode_view = sorted(view)
 
     # -- writes ---------------------------------------------------------------
     def _handle_write(self, request: MetadataRequest, span=None) -> Generator:
@@ -405,12 +421,15 @@ class LambdaNameNode:
         when a directory's own metadata changes, since directories
         are cached as ancestors across the whole fleet.
         """
+        # Sets of strings iterate in a per-process salted order; sort
+        # so the INV fan-out (and therefore the event sequence) is a
+        # function of the seed alone.
         by_deployment: Dict[str, List[str]] = {}
         if broadcast:
             for deployment in self.fs.partitioner.deployment_names():
-                by_deployment[deployment] = list(set(affected_paths))
+                by_deployment[deployment] = sorted(set(affected_paths))
         else:
-            for path in set(affected_paths):
+            for path in sorted(set(affected_paths)):
                 deployment = self.fs.partitioner.deployment_for(path)
                 by_deployment.setdefault(deployment, []).append(path)
         env = self.fs.env

@@ -1,0 +1,21 @@
+"""The simulated data plane: DataNode actors, liveness, replication.
+
+See ``docs/datanode.md`` for the lifecycle, heartbeat/scan
+parameters, and recovery-SLO semantics.
+"""
+
+from repro.datanode.fleet import DataNodeFleet
+from repro.datanode.node import DataNode, DataNodeFleetConfig
+from repro.datanode.pipeline import write_pipeline
+from repro.datanode.scanner import RepairRecord, ReplicationScanner
+from repro.datanode.tracker import HeartbeatTracker
+
+__all__ = [
+    "DataNode",
+    "DataNodeFleet",
+    "DataNodeFleetConfig",
+    "HeartbeatTracker",
+    "RepairRecord",
+    "ReplicationScanner",
+    "write_pipeline",
+]

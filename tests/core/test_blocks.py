@@ -1,6 +1,8 @@
 """Unit tests for block allocation and placement."""
 
-from repro.core.blocks import BlockManager, BlockPlacementConfig
+import pytest
+
+from repro.core.blocks import BlockManager, BlockPlacementConfig, rack_aware_place
 
 
 def test_allocate_unique_ids():
@@ -52,6 +54,57 @@ def test_placement_stable_under_datanode_loss():
         after = manager.place(block, survivors)[0]
         if owner != "dn2":
             assert after == owner
+
+
+def test_two_managers_do_not_share_a_counter():
+    """Regression: the id counter is per-manager state, not process
+    state — two managers in one sim must be able to run disjoint id
+    spaces instead of interleaving (or, with a shared iterator,
+    colliding after a replay restore)."""
+    a = BlockManager(BlockPlacementConfig(blocks_per_file=1))
+    b = BlockManager(BlockPlacementConfig(blocks_per_file=1), first_id=1_000)
+    assert a.allocate() == (1,)
+    assert b.allocate() == (1_000,)
+    assert a.allocate() == (2,)  # b's allocation did not advance a
+    assert b.allocate() == (1_001,)
+
+
+def test_snapshot_restore_replays_identical_ids():
+    manager = BlockManager(BlockPlacementConfig(blocks_per_file=2))
+    manager.allocate()
+    state = manager.snapshot()
+    first = [manager.allocate() for _ in range(3)]
+    manager.restore(state)
+    replay = [manager.allocate() for _ in range(3)]
+    assert replay == first
+
+
+def test_counter_validation():
+    with pytest.raises(ValueError):
+        BlockManager(first_id=0)
+    with pytest.raises(ValueError):
+        BlockManager().restore(0)
+
+
+def test_rack_aware_place_spreads_racks():
+    racks = {f"dn{i}": f"rack{i % 3}" for i in range(9)}
+    for block in range(32):
+        placed = rack_aware_place(block, racks, 3)
+        assert len(placed) == 3
+        assert len({racks[dn] for dn in placed}) == 3
+
+
+def test_rack_aware_place_falls_back_within_one_rack():
+    racks = {"dn0": "rack0", "dn1": "rack0", "dn2": "rack0"}
+    placed = rack_aware_place(5, racks, 3)
+    assert sorted(placed) == ["dn0", "dn1", "dn2"]
+
+
+def test_place_with_racks_filters_to_known_nodes():
+    manager = BlockManager(BlockPlacementConfig(replication=2))
+    racks = {"dn0": "rack0", "dn1": "rack1"}
+    placed = manager.place(9, ["dn0", "dn1", "dn9"], racks=racks)
+    assert set(placed) == {"dn0", "dn1"}
 
 
 def test_locations_maps_all_blocks():
