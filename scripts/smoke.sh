@@ -103,6 +103,37 @@ print(f"datanode smoke ok: {kill['repairs']} repairs, "
       f"RF restored in {kill['replication_recovery_ms']:.0f} ms")
 EOF
 
+# Tenant smoke: the noisy-neighbor scenario at reduced scale — the
+# QoS governor must cap the hog so the fairness gate (Jain floor +
+# victim p99) recovers — then a short multi-tenant run whose exports
+# must contain per-tenant series for every cast member.
+python -m repro chaos run noisy-neighbor --deployments 2 \
+    --window 8000 --drain 4000 --interval 200 > "$out/tenant.txt"
+grep -q "verifier: PASS" "$out/tenant.txt"
+grep -q "PASS fairness: Jain" "$out/tenant.txt"
+python -m repro tenants --duration 1500 --deployments 2 \
+    --interval 200 --out "$out/tenants" > "$out/tenants.txt"
+grep -q "Jain overall" "$out/tenants.txt"
+python - "$out" <<'EOF'
+import sys
+
+from repro.telemetry import parse_prometheus_text, read_jsonl
+from repro.telemetry.registry import parse_series_key
+
+out = sys.argv[1]
+ts = read_jsonl(f"{out}/tenants/tenants.jsonl")
+tenants = {
+    parse_series_key(key)[1]["tenant"]
+    for key in ts.keys() if key.startswith("tenant_ops_total")
+}
+assert tenants >= {"prod", "analytics", "mltrain", "batch"}, tenants
+samples = parse_prometheus_text(open(f"{out}/tenants/tenants.prom").read())
+buckets = [k for k in samples if k.startswith("tenant_latency_bucket")]
+assert buckets, "no per-tenant latency buckets exported"
+print(f"tenant smoke ok: {sorted(tenants)} tenants, "
+      f"{len(buckets)} bucket series")
+EOF
+
 # Kernel smoke: the quick events/sec gate against the committed
 # baseline — fails on a >25% regression at the quick scale point.
 # (The baseline is best-of-repeats; host noise alone is ~±10%, so the

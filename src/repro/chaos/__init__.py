@@ -37,6 +37,7 @@ from repro.chaos.runner import (
     run_matrix,
     run_scenario,
     scenario_needs_datanodes,
+    scenario_needs_tenants,
 )
 from repro.chaos.scenario import (
     FaultSpec,
@@ -48,6 +49,7 @@ from repro.chaos.scenarios import (
     DATANODE_MATRIX,
     EXPECTED_FAIL,
     MATRIX,
+    TENANT_MATRIX,
     builtin_scenarios,
     get_scenario,
 )
@@ -70,6 +72,7 @@ __all__ = [
     "RECOVERABLE_ERRORS",
     "RecoverySLO",
     "Scenario",
+    "TENANT_MATRIX",
     "VICTIM_POLICIES",
     "VerifierReport",
     "builtin_scenarios",
@@ -83,5 +86,6 @@ __all__ = [
     "run_scenario",
     "save_scenario",
     "scenario_needs_datanodes",
+    "scenario_needs_tenants",
     "validate_scenario",
 ]

@@ -78,6 +78,12 @@ class ChaosEngine:
         self.fleet = fleet
         self.seed = seed
         self.rng = derive_rng(seed, "chaos")
+        #: The tenant QoS governor, wired by the runner in tenant mode
+        #: (``tenant_flood``'s ``disable_isolation`` kills it).
+        self.governor: Any = None
+        #: Tenant → flood think-ms latched *past* deactivation by
+        #: ``disable_isolation`` (one-way, like a dead repair daemon).
+        self.tenant_flood_latch: Dict[str, float] = {}
         self.scenario: Optional[Scenario] = None
         self.epoch: Optional[float] = None
         self.log: List[FaultEvent] = []
@@ -266,6 +272,21 @@ class ChaosEngine:
             if fault.matches_datanode(node_id, rack):
                 factor *= fault.factor
         return factor
+
+    def tenant_flood_think_ms(self, tenant: str) -> Optional[float]:
+        """Flooded think time for ``tenant``'s client loops, or None.
+
+        Pure computation (no RNG, no logging), consulted by the
+        multi-tenant workload loops before every op.  The latch
+        (``disable_isolation``) wins over — and outlives — the active
+        fault window.
+        """
+        out = self.tenant_flood_latch.get(tenant)
+        for fault in self._active.get("tenant_flood", ()):
+            if fault.tenant == tenant:
+                think = fault.think_ms
+                out = think if out is None else min(out, think)
+        return out
 
     def ack_should_drop(self, deployment: str, member_id: str) -> bool:
         """True when this member's INV ACK is lost."""

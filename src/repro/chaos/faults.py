@@ -758,6 +758,56 @@ class DiskSlowFault(Fault):
         return float(self.params.get("factor", 4.0))
 
 
+class TenantFloodFault(Fault):
+    """One tenant's clients go berserk: a noisy neighbor.
+
+    While active, the flooding tenant's closed-loop client think time
+    collapses to ``think_ms`` (default 0 — back-to-back ops); the
+    tenant workload loops consult
+    :meth:`ChaosEngine.tenant_flood_think_ms` before every op, so the
+    fault itself is a pure query — no processes, no RNG, no log spam.
+    Whether the victims feel it is the :class:`~repro.tenants.context
+    .TenantGovernor`'s problem — exactly what the verifier's fairness
+    gate judges.
+
+    ``disable_isolation`` models a *dead QoS layer*, and like
+    ``datanode_kill``'s ``disable_repair`` it is **one-way**: the
+    governor is switched off permanently and the flood think time is
+    latched past deactivation (a runaway job nobody is throttling or
+    killing).  Restoring either at the window edge would let fairness
+    recover on schedule and mask the breakage this expected-FAIL path
+    exists to surface.
+    """
+
+    kind = "tenant_flood"
+    requires_duration = True
+    allowed_params = ("tenant", "think_ms", "disable_isolation")
+
+    def validate(self) -> None:
+        if not self.params.get("tenant"):
+            raise ValueError(f"{self.kind}: tenant param is required")
+        if float(self.params.get("think_ms", 0.0)) < 0:
+            raise ValueError(f"{self.kind}: think_ms must be >= 0")
+
+    @property
+    def tenant(self) -> str:
+        return str(self.params["tenant"])
+
+    @property
+    def think_ms(self) -> float:
+        return float(self.params.get("think_ms", 0.0))
+
+    def on_activate(self) -> None:
+        engine = self.engine
+        if self.params.get("disable_isolation", False):
+            engine.tenant_flood_latch[self.tenant] = self.think_ms
+            governor = getattr(engine, "governor", None)
+            if governor is not None:
+                governor.enabled = False
+            engine._log(self.kind, "inject", note="isolation-disabled",
+                        tenant=self.tenant)
+
+
 # -- registry -----------------------------------------------------------
 
 FAULT_TYPES: Dict[str, Type[Fault]] = {
@@ -779,6 +829,7 @@ FAULT_TYPES: Dict[str, Type[Fault]] = {
         CapacityCrunchFault,
         DataNodeKillFault,
         DiskSlowFault,
+        TenantFloodFault,
     )
 }
 

@@ -23,7 +23,7 @@ returns per-scenario results for ``repro chaos matrix``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import build_lambdafs, drive
 from repro.core import OpType
@@ -32,7 +32,10 @@ from repro.faas.platform import InstanceTerminated
 from repro.namespace.treegen import TreeSpec, generate_tree
 from repro.rpc.connections import ConnectionDropped
 from repro.sim import AllOf, AnyOf, Environment, RngStreams
+from repro.tenants.context import TenantGovernor, TenantSpec, chaos_tenants
+from repro.tenants.telemetry import install_tenant_telemetry
 from repro.workloads import MicroBenchmark
+from repro.workloads.multitenant import MultiTenantWorkload
 
 from repro.chaos.engine import ChaosEngine, install_chaos
 from repro.chaos.scenario import Scenario
@@ -42,11 +45,21 @@ from repro.datanode import DataNodeFleet, DataNodeFleetConfig
 #: Fault kinds that only do anything against a DataNode fleet.
 DATANODE_FAULT_KINDS = ("datanode_kill", "disk_slow")
 
+#: Fault kinds that only do anything against a multi-tenant workload.
+TENANT_FAULT_KINDS = ("tenant_flood",)
+
 
 def scenario_needs_datanodes(scenario: Scenario) -> bool:
     """True when ``scenario`` injects data-plane faults."""
     return any(
         spec.kind in DATANODE_FAULT_KINDS for spec in scenario.faults
+    )
+
+
+def scenario_needs_tenants(scenario: Scenario) -> bool:
+    """True when ``scenario`` injects tenant-scoped faults."""
+    return any(
+        spec.kind in TENANT_FAULT_KINDS for spec in scenario.faults
     )
 
 #: Typed errors a chaos client absorbs and retries past.
@@ -91,6 +104,17 @@ class ChaosRunConfig:
     """Slice of ops that are pipelined chunk writes (only drawn when a
     fleet is attached and this is > 0 — a zero fraction consumes no
     extra randomness, keeping fleet-less streams unchanged)."""
+    tenants: Optional[Tuple[TenantSpec, ...]] = None
+    """Multi-tenant mode.  None = auto: the :func:`~repro.tenants
+    .context.chaos_tenants` cast when the scenario injects tenant
+    faults, single-tenant (the legacy byte-identical configuration)
+    otherwise.  An empty tuple always disables; a non-empty tuple
+    forces tenant mode (``config.clients`` is then ignored — each
+    spec sizes its own fleet)."""
+    governor_headroom: float = 2.0
+    """QoS governor budget per tenant, as a multiple of its nominal
+    demand (see :meth:`TenantGovernor.for_tenants`)."""
+    governor_burst_ms: float = 250.0
 
 
 @dataclass
@@ -108,6 +132,11 @@ class ChaosRunResult:
     log_hash: str
     fleet: Optional[object] = None
     """The :class:`repro.datanode.DataNodeFleet`, when one ran."""
+    tenant_counts: Optional[Dict[str, object]] = None
+    """Tenant → :class:`repro.workloads.multitenant.TenantCounts`
+    when the run was multi-tenant."""
+    timeseries: Optional[object] = None
+    """The sampled telemetry, for post-run fairness analysis."""
 
     @property
     def passed(self) -> bool:
@@ -166,7 +195,20 @@ def run_scenario(
     """Build a fresh system, run ``scenario`` under load, verify."""
     config = config or ChaosRunConfig()
     env = Environment()
-    tree = generate_tree(replace(config.tree, seed=config.seed))
+    tenant_specs = config.tenants
+    if tenant_specs is None:
+        tenant_specs = (
+            chaos_tenants() if scenario_needs_tenants(scenario) else ()
+        )
+    workload = None
+    if tenant_specs:
+        workload = MultiTenantWorkload(
+            env, tenant_specs, seed=config.seed,
+            absorb_errors=RECOVERABLE_ERRORS,
+        )
+        tree = workload.namespace()
+    else:
+        tree = generate_tree(replace(config.tree, seed=config.seed))
     datanodes = config.datanodes
     if datanodes is None:
         datanodes = 9 if scenario_needs_datanodes(scenario) else 0
@@ -212,9 +254,18 @@ def run_scenario(
         fs.datanode_fleet = fleet
         if config.datanode_start:
             fleet.start()
-    clients = handle.make_clients(config.clients)
+    clients = handle.make_clients(
+        workload.total_clients() if workload is not None else config.clients
+    )
+    if workload is not None and env.metrics is not None:
+        install_tenant_telemetry(
+            env.metrics, [spec.name for spec in tenant_specs]
+        )
     drive(env, fs.prewarm(config.instances_per_deployment))
     if config.prelude_ops > 0:
+        # Prelude runs before clients are tenant-tagged, so its warm-up
+        # reads stay out of the per-tenant series (and the SLO baseline
+        # starts clean at the engine epoch either way).
         bench = MicroBenchmark(env, tree, seed=config.seed)
         drive(
             env,
@@ -228,22 +279,48 @@ def run_scenario(
     issue_until = clear + config.slo.window_ms
     deadline = issue_until + config.drain_ms
 
-    rngs = RngStreams(config.seed)
     counts = {"ok": 0, "failed": 0}
     errors: Dict[str, int] = {}
-    workers = [
-        env.process(_client_loop(
-            env, client, tree.files, rngs.stream(f"chaos-client:{index}"),
-            issue_until, config, counts, errors,
-            fleet=fleet if config.datanode_start else None,
-        ))
-        for index, client in enumerate(clients)
-    ]
+    if workload is not None:
+        # Tenant mode: the governor is the QoS isolation under test
+        # (``tenant_flood``'s ``disable_isolation`` kills it via
+        # ``engine.governor``), and the flood lookup turns the noisy
+        # tenant's loops into a storm while the fault is active.
+        governor = TenantGovernor.for_tenants(
+            env, tenant_specs,
+            headroom=config.governor_headroom,
+            burst_ms=config.governor_burst_ms,
+        )
+        engine.governor = governor
+        workload.governor = governor
+        workload.flood_think = engine.tenant_flood_think_ms
+        fleets = workload.partition_clients(clients)
+        done = env.process(
+            workload.run(fleets, issue_until - env.now)
+        )
+    else:
+        rngs = RngStreams(config.seed)
+        workers = [
+            env.process(_client_loop(
+                env, client, tree.files,
+                rngs.stream(f"chaos-client:{index}"),
+                issue_until, config, counts, errors,
+                fleet=fleet if config.datanode_start else None,
+            ))
+            for index, client in enumerate(clients)
+        ]
+        done = AllOf(env, workers)
     # Stop at the deadline even if some op hangs forever — a hung op
     # must not hang the harness, it must show up in the verifier.
-    done = AllOf(env, workers)
     cutoff = env.timeout(deadline - env.now)
     drive(env, _await_any(env, done, cutoff))
+
+    if workload is not None:
+        for tally in workload.counts.values():
+            counts["ok"] += tally.ok
+            counts["failed"] += tally.failed
+            for name, count in tally.errors.items():
+                errors[name] = errors.get(name, 0) + count
 
     engine.stop()
     if handle.telemetry is not None:
@@ -256,6 +333,7 @@ def run_scenario(
         engine=engine,
         slo=config.slo,
         fleet=fleet if config.datanode_start else None,
+        tenants=tenant_specs if workload is not None else None,
     )
     report = verifier.verify()
     return ChaosRunResult(
@@ -269,6 +347,11 @@ def run_scenario(
         event_hash=handle.tracer.event_hash(),
         log_hash=engine.log_hash(),
         fleet=fleet,
+        tenant_counts=dict(workload.counts) if workload is not None else None,
+        timeseries=(
+            handle.telemetry.timeseries
+            if handle.telemetry is not None else None
+        ),
     )
 
 

@@ -37,8 +37,19 @@ DATANODE_MATRIX: Tuple[str, ...] = (
     "disk-slow",
 )
 
+#: The multi-tenant matrix (tenant fleets + fairness gate; ``repro
+#: chaos matrix --scenarios noisy-neighbor noisy-neighbor-runaway``).
+TENANT_MATRIX: Tuple[str, ...] = (
+    "noisy-neighbor",
+    "noisy-neighbor-runaway",
+)
+
 #: Scenarios whose verifier verdict is expected to be FAIL.
-EXPECTED_FAIL: Tuple[str, ...] = ("ack-loss-noretry", "datanode-kill-norepair")
+EXPECTED_FAIL: Tuple[str, ...] = (
+    "ack-loss-noretry",
+    "datanode-kill-norepair",
+    "noisy-neighbor-runaway",
+)
 
 
 def builtin_scenarios() -> Dict[str, Scenario]:
@@ -165,6 +176,28 @@ def builtin_scenarios() -> Dict[str, Scenario]:
             faults=(
                 FaultSpec("disk_slow", at_ms=1_500.0, duration_ms=3_000.0,
                           params={"factor": 8.0, "rack": "rack0"}),
+            ),
+        ),
+        Scenario(
+            name="noisy-neighbor",
+            description="multi-tenant: the 'hog' tenant floods (zero "
+                        "think time) for 3.5 s; the QoS governor must cap "
+                        "it so victim p99 and the Jain index recover "
+                        "within the SLO window",
+            faults=(
+                FaultSpec("tenant_flood", at_ms=2_000.0, duration_ms=3_500.0,
+                          params={"tenant": "hog", "think_ms": 0.0}),
+            ),
+        ),
+        Scenario(
+            name="noisy-neighbor-runaway",
+            description="broken QoS path: the same flood with isolation "
+                        "disabled — the governor dies and the flood never "
+                        "clears; the verifier MUST fail this run",
+            faults=(
+                FaultSpec("tenant_flood", at_ms=2_000.0, duration_ms=3_500.0,
+                          params={"tenant": "hog", "think_ms": 0.0,
+                                  "disable_isolation": True}),
             ),
         ),
         Scenario(

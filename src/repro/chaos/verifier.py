@@ -42,6 +42,16 @@ class RecoverySLO:
     replication_window_ms: Optional[float] = None
     """How long after the last fault clears replication factor must be
     restored (gate 4; defaults to ``window_ms`` when None)."""
+    jain_floor: float = 0.8
+    """Gate 5 (fairness): within the window, the per-interval Jain
+    index over tenant throughput must return to at least this."""
+    victim_p99_factor: float = 5.0
+    """Gate 5: victim tenants' per-interval p99 must return to within
+    this factor of its pre-fault baseline."""
+    victim_p99_min_bound_ms: float = 10.0
+    """Floor on the victim-p99 recovery bound — interval quantiles are
+    bucket upper bounds, so a sub-ms baseline would otherwise make the
+    bound finer than the histogram can resolve."""
 
 
 @dataclass
@@ -63,6 +73,14 @@ class VerifierReport:
     """Blocks with zero live replicas at verification time."""
     replication_recovery_ms: Optional[float] = None
     """Last-fault-clear → last re-replication repair completing."""
+    baseline_victim_p99_ms: Optional[float] = None
+    recovered_victim_p99_ms: Optional[float] = None
+    jain_min: Optional[float] = None
+    """Worst per-interval Jain index anywhere in the run."""
+    jain_recovered: Optional[float] = None
+    fairness_recovery_ms: Optional[float] = None
+    """Last-fault-clear → first interval back inside both fairness
+    bands (Jain floor and victim-p99 bound)."""
 
     def _ok(self, message: str) -> None:
         self.checks.append(f"PASS {message}")
@@ -118,12 +136,16 @@ class ChaosVerifier:
         engine: Any = None,
         slo: Optional[RecoverySLO] = None,
         fleet: Any = None,
+        tenants: Any = None,
     ) -> None:
         self.tracer = tracer
         self.timeseries = timeseries
         self.engine = engine
         self.slo = slo or RecoverySLO()
         self.fleet = fleet
+        self.tenants = tenants
+        """Tenant specs of a multi-tenant run (for fair-share weights
+        and SLO targets); None outside tenant mode."""
 
     def verify(self) -> VerifierReport:
         report = VerifierReport()
@@ -131,6 +153,7 @@ class ChaosVerifier:
         self._check_liveness(report)
         self._check_slos(report)
         self._check_replication(report)
+        self._check_fairness(report)
         return report
 
     # -- gate 1: invariants --------------------------------------------
@@ -337,5 +360,114 @@ class ChaosVerifier:
         report._fail(
             f"hit-rate SLO: still {post[-1]:.2f} "
             f"(< {self.slo.hit_rate_band:g}x baseline {baseline:.2f}) "
+            f"{self.slo.window_ms:.0f} ms after faults cleared"
+        )
+
+    # -- gate 5: tenant fairness ---------------------------------------
+    def _noisy_tenants(self) -> List[str]:
+        """Tenants the scenario floods (``tenant_flood`` targets)."""
+        scenario = (
+            getattr(self.engine, "scenario", None)
+            if self.engine is not None else None
+        )
+        if scenario is None:
+            return []
+        return sorted({
+            str(spec.params.get("tenant"))
+            for spec in scenario.faults
+            if spec.kind == "tenant_flood" and spec.params.get("tenant")
+        })
+
+    def _check_fairness(self, report: VerifierReport) -> None:
+        """Victims' p99 and the Jain index recover within the window.
+
+        Only engages when the scenario floods a tenant; judged from
+        the per-tenant telemetry (:mod:`repro.tenants.fairness`): the
+        per-interval Jain index over tenant throughput must return to
+        ≥ ``jain_floor`` **and** the victim tenants' per-interval p99
+        (merged bucket deltas) to ≤ ``victim_p99_factor`` × its
+        pre-fault baseline, in the same interval, within ``window_ms``
+        of the last fault clearing.  The isolation-disabled flood
+        latches past its window, so this gate is exactly what the
+        ``noisy-neighbor-runaway`` expected-FAIL trips.
+        """
+        noisy = self._noisy_tenants()
+        if not noisy:
+            return
+        if self.timeseries is None:
+            report._skip("fairness (no telemetry)")
+            return
+        from repro.tenants import fairness
+
+        names = fairness.tenant_names(self.timeseries)
+        victims = [name for name in names if name not in noisy]
+        if not victims:
+            report._skip("fairness (no victim-tenant telemetry)")
+            return
+        first_fault, clear = self._fault_window()
+        if first_fault is None or clear is None:
+            report._skip("fairness (no fault window)")
+            return
+        weights = None
+        if self.tenants:
+            weights = {
+                spec.name: getattr(spec, "weight", 1.0)
+                for spec in self.tenants
+            }
+        jain = fairness.jain_timeline(self.timeseries, names, weights=weights)
+        p99 = fairness.p99_timeline(self.timeseries, victims)
+        if jain:
+            report.jain_min = min(value for _t, value in jain)
+        epoch = self.engine.epoch if self.engine is not None else None
+        baseline_window = [
+            value for t, value in p99
+            if t < first_fault and (epoch is None or t > epoch)
+            and value != float("inf")
+        ]
+        if len(baseline_window) < self.slo.min_baseline_samples:
+            report._skip("fairness (not enough pre-fault samples)")
+            return
+        baseline = sum(baseline_window) / len(baseline_window)
+        report.baseline_victim_p99_ms = baseline
+        bound = max(
+            self.slo.victim_p99_factor * baseline,
+            self.slo.victim_p99_min_bound_ms,
+        )
+        deadline = clear + self.slo.window_ms
+        jain_at = dict(jain)
+        p99_at = dict(p99)
+        times = sorted(set(jain_at) & set(p99_at))
+        for t_ms in times:
+            if t_ms <= clear or t_ms > deadline:
+                continue
+            jain_value = jain_at[t_ms]
+            p99_value = p99_at[t_ms]
+            if jain_value >= self.slo.jain_floor and p99_value <= bound:
+                report.jain_recovered = jain_value
+                report.recovered_victim_p99_ms = p99_value
+                report.fairness_recovery_ms = max(0.0, t_ms - clear)
+                report._ok(
+                    f"fairness: Jain {jain_value:.3f} >= "
+                    f"{self.slo.jain_floor:g} and victim p99 "
+                    f"{p99_value:.1f} ms <= {bound:.1f} ms "
+                    f"after {t_ms - clear:.0f} ms"
+                )
+                return
+        post = [
+            (jain_at[t], p99_at[t]) for t in times if clear < t <= deadline
+        ]
+        if not post:
+            report._fail(
+                "fairness: no tenant ops observed in the "
+                f"{self.slo.window_ms:.0f} ms recovery window"
+            )
+            return
+        last_jain, last_p99 = post[-1]
+        report.jain_recovered = last_jain
+        report.recovered_victim_p99_ms = last_p99
+        report._fail(
+            f"fairness: still Jain {last_jain:.3f} "
+            f"(floor {self.slo.jain_floor:g}) / victim p99 "
+            f"{last_p99:.1f} ms (bound {bound:.1f} ms) "
             f"{self.slo.window_ms:.0f} ms after faults cleared"
         )

@@ -491,6 +491,22 @@ def _cmd_chaos(args) -> int:
                 "event_hash": result.event_hash,
                 "fault_log_hash": result.log_hash,
             }
+            if result.tenant_counts is not None:
+                records[name].update({
+                    "tenants": {
+                        tenant: {"issued": c.issued, "ok": c.ok,
+                                 "failed": c.failed, "errors": c.errors}
+                        for tenant, c in sorted(result.tenant_counts.items())
+                    },
+                    "jain_min": result.report.jain_min,
+                    "jain_recovered": result.report.jain_recovered,
+                    "baseline_victim_p99_ms":
+                        result.report.baseline_victim_p99_ms,
+                    "recovered_victim_p99_ms":
+                        result.report.recovered_victim_p99_ms,
+                    "fairness_recovery_ms":
+                        result.report.fairness_recovery_ms,
+                })
             if result.fleet is not None:
                 scanner = result.fleet.scanner
                 records[name].update({
@@ -519,6 +535,69 @@ def _cmd_chaos(args) -> int:
         return exit_code
 
     raise ValueError(f"unknown chaos subcommand {args.chaos_command!r}")
+
+
+def _cmd_tenants(args) -> int:
+    """Multi-tenant run: per-tenant dashboard + fairness report."""
+    import json
+
+    from repro.tenants import TenantRunConfig, render_tenant_dashboard, run_tenants
+
+    config = TenantRunConfig(
+        seed=args.seed,
+        duration_ms=args.duration,
+        deployments=args.deployments,
+        telemetry_interval_ms=args.interval,
+        governed=args.governed,
+        profile=args.profile,
+    )
+    result = run_tenants(config=config)
+    print(render_tenant_dashboard(
+        result.timeseries, specs=result.specs, report=result.report,
+    ))
+    print(f"\n{result.total_ops} op(s) across {len(result.specs)} tenant(s) "
+          f"in {result.duration_ms:.0f} sim-ms  "
+          f"events={result.event_hash[:12]}")
+    if result.profile is not None:
+        print("\nper-tenant critical-path shares:")
+        for tenant, ops in sorted(result.profile.by_tenant().items()):
+            if not tenant:
+                continue
+            shares = result.profile.stage_shares(tenant=tenant)
+            top = sorted(shares.items(), key=lambda kv: -kv[1])[:4]
+            stages = "  ".join(f"{s} {100 * v:.0f}%" for s, v in top)
+            print(f"  {tenant:<12s} {len(ops):5d} ops  {stages}")
+    if args.out:
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        from repro.telemetry.export import write_csv, write_jsonl, write_prometheus
+
+        jsonl = os.path.join(args.out, "tenants.jsonl")
+        csv = os.path.join(args.out, "tenants.csv")
+        prom = os.path.join(args.out, "tenants.prom")
+        write_jsonl(result.timeseries, jsonl)
+        write_csv(result.timeseries, csv)
+        write_prometheus(result.registry, prom)
+        print("\nexports:")
+        for path in (jsonl, csv, prom):
+            print(f"  {path}")
+    if args.json:
+        payload = {
+            "version": 1,
+            "seed": args.seed,
+            "duration_ms": result.duration_ms,
+            "event_hash": result.event_hash,
+            "report": result.report.as_dict(),
+            "counts": {
+                tenant: {"issued": c.issued, "ok": c.ok, "failed": c.failed}
+                for tenant, c in sorted(result.counts.items())
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\njson: {args.json}")
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -735,6 +814,25 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write per-scenario verdicts + hashes JSON")
     _chaos_knobs(chaos_matrix)
 
+    tenants = sub.add_parser(
+        "tenants",
+        help="multi-tenant run: per-tenant dashboard + fairness report",
+    )
+    tenants.add_argument("--seed", type=int, default=0)
+    tenants.add_argument("--duration", type=float, default=10_000.0,
+                         help="workload duration (sim-ms)")
+    tenants.add_argument("--deployments", type=int, default=4)
+    tenants.add_argument("--interval", type=float, default=250.0,
+                         help="telemetry sampling interval (sim-ms)")
+    tenants.add_argument("--governed", action="store_true",
+                         help="attach the QoS token-bucket governor")
+    tenants.add_argument("--profile", action="store_true",
+                         help="also attribute per-tenant critical paths")
+    tenants.add_argument("--out", default=None, metavar="DIR",
+                         help="export the series (JSONL/CSV/Prometheus)")
+    tenants.add_argument("--json", default=None, metavar="PATH",
+                         help="write the fairness report JSON")
+
     bench = sub.add_parser(
         "bench",
         help="wall-clock toolkit benchmarks: kernel",
@@ -782,6 +880,7 @@ COMMANDS = {
     "telemetry": _cmd_telemetry,
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,
+    "tenants": _cmd_tenants,
     "bench": _cmd_bench,
     "experiments": _cmd_experiments,
 }

@@ -68,6 +68,10 @@ class LambdaFSClient:
         self.server: "TcpServer" = vm.assign_server()
         self.config = fs.config.client
         self.id = f"client{next(self._ids)}"
+        #: Tenant this client issues ops for (multi-tenant mode).
+        #: None (the default) leaves spans and metrics exactly as in
+        #: single-tenant runs — no extra attrs, no extra series.
+        self.tenant: Optional[str] = None
         self._rng = fs.rngs.stream(f"client:{self.id}")
         self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
         self._antithrash_until = -float("inf")
@@ -145,10 +149,16 @@ class LambdaFSClient:
         tracer = env.tracer
         op_span = None
         if tracer is not None:
-            op_span = tracer.begin(
-                "client.op", self.id, op=op.value, path=path,
-                request_id=request.request_id,
-            )
+            if self.tenant is None:
+                op_span = tracer.begin(
+                    "client.op", self.id, op=op.value, path=path,
+                    request_id=request.request_id,
+                )
+            else:
+                op_span = tracer.begin(
+                    "client.op", self.id, op=op.value, path=path,
+                    request_id=request.request_id, tenant=self.tenant,
+                )
         try:
             response, via, cache_hit = yield from self._submit(
                 request, deployment, op_span
@@ -167,6 +177,20 @@ class LambdaFSClient:
             if not response.ok:
                 metrics.inc("ops_failed_total", op=op.value)
             metrics.observe("op_latency_ms", latency, op=op.value)
+            tenant = self.tenant
+            if tenant is not None:
+                # Separate tenant_* families (not tenant labels on the
+                # fleet-global ones): the chaos verifier sums every
+                # series in a family, so labelled duplicates would
+                # double-count each op in the recovery-SLO gate.
+                metrics.inc("tenant_ops_total", op=op.value, tenant=tenant)
+                if not response.ok:
+                    metrics.inc("tenant_ops_failed_total", tenant=tenant)
+                metrics.observe("tenant_op_latency_ms", latency, tenant=tenant)
+                if cache_hit:
+                    metrics.inc("tenant_cache_hits_total", tenant=tenant)
+                else:
+                    metrics.inc("tenant_cache_misses_total", tenant=tenant)
         self.fs.metrics.record(
             op=op.value, start_ms=start, end_ms=env.now,
             ok=response.ok, via=via, cache_hit=cache_hit,

@@ -409,7 +409,11 @@ class Transaction:
         return self.store.peek(key)
 
     def _finish(self, committed: bool = False) -> None:
-        self.store.locks.release_all(self, self._locked)
+        # ``_locked`` is a set; released sorted so the wake order of
+        # waiters parked on different keys never depends on the
+        # per-process hash salt (lock_many acquires in the same
+        # canonical order).
+        self.store.locks.release_all(self, sorted(self._locked, key=repr))
         self._locked.clear()
         self._staged.clear()
         self._done = True

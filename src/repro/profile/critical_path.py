@@ -60,6 +60,9 @@ class OpProfile:
     end_ms: float
     stages: Dict[str, float]
     segments: List[Segment] = field(default_factory=list)
+    tenant: str = ""
+    """Owning tenant (from the root span's ``tenant`` attr); empty in
+    single-tenant runs."""
 
     @property
     def total_ms(self) -> float:
@@ -70,7 +73,7 @@ class OpProfile:
         return sum(self.stages.values())
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "span_id": self.span_id,
             "op": self.op,
             "path": self.path,
@@ -80,6 +83,9 @@ class OpProfile:
             "end_ms": self.end_ms,
             "stages": {k: v for k, v in self.stages.items() if v},
         }
+        if self.tenant:
+            out["tenant"] = self.tenant
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "OpProfile":
@@ -94,6 +100,7 @@ class OpProfile:
             start_ms=data["start_ms"],
             end_ms=data["end_ms"],
             stages=stages,
+            tenant=data.get("tenant", ""),
         )
 
 
@@ -116,19 +123,32 @@ class Profile:
             grouped.setdefault(op.op, []).append(op)
         return grouped
 
-    def stage_totals(self, op: Optional[str] = None) -> Dict[str, float]:
-        """Total ms per stage (optionally for one op type)."""
+    def by_tenant(self) -> Dict[str, List[OpProfile]]:
+        """Ops grouped by owning tenant ("" = untagged clients)."""
+        grouped: Dict[str, List[OpProfile]] = {}
+        for op in self.ops:
+            grouped.setdefault(op.tenant, []).append(op)
+        return grouped
+
+    def stage_totals(
+        self, op: Optional[str] = None, tenant: Optional[str] = None
+    ) -> Dict[str, float]:
+        """Total ms per stage (optionally for one op type / tenant)."""
         totals = {stage: 0.0 for stage in STAGES}
         for record in self.ops:
             if op is not None and record.op != op:
+                continue
+            if tenant is not None and record.tenant != tenant:
                 continue
             for stage, value in record.stages.items():
                 totals[stage] = totals.get(stage, 0.0) + value
         return totals
 
-    def stage_shares(self, op: Optional[str] = None) -> Dict[str, float]:
+    def stage_shares(
+        self, op: Optional[str] = None, tenant: Optional[str] = None
+    ) -> Dict[str, float]:
         """Fraction of total attributed time per stage."""
-        totals = self.stage_totals(op)
+        totals = self.stage_totals(op, tenant=tenant)
         grand = sum(totals.values())
         if grand <= 0:
             return {stage: 0.0 for stage in totals}
@@ -308,6 +328,7 @@ def attribute_op(
         end_ms=root.end_ms,
         stages=stages,
         segments=segments,
+        tenant=str(root.attrs.get("tenant", "")),
     )
 
 

@@ -1,0 +1,76 @@
+"""Per-tenant ascii dashboard (``repro tenants``).
+
+One sparkline block per tenant — interval throughput, interval p99 —
+plus the cross-tenant fairness section: the Jain-index timeline and
+the summary table from :func:`repro.tenants.fairness.summarize`.
+Read-only over the sampled time-series, like the fleet dashboard in
+:mod:`repro.telemetry.dashboard`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.metrics.ascii_plot import sparkline
+from repro.tenants.fairness import (
+    FairnessReport,
+    interval_ops,
+    p99_timeline,
+    summarize,
+    tenant_names,
+)
+
+
+def _resample(values: Sequence[float], width: int) -> List[float]:
+    if len(values) <= width:
+        return list(values)
+    step = len(values) / width
+    return [values[int(i * step)] for i in range(width)]
+
+
+def _row(label: str, points: Sequence[Tuple[float, float]], width: int,
+         fmt: str = "{:,.0f}") -> str:
+    values = [v for _, v in points]
+    spark = sparkline(_resample(values, width))
+    low = min(values) if values else 0.0
+    high = max(values) if values else 0.0
+    last = values[-1] if values else 0.0
+    return (f"    {label:<14s} {spark}  "
+            f"min {fmt.format(low)}  max {fmt.format(high)}  "
+            f"last {fmt.format(last)}")
+
+
+def render_tenant_dashboard(
+    timeseries,
+    specs: Optional[Sequence] = None,
+    width: int = 48,
+    report: Optional[FairnessReport] = None,
+) -> str:
+    """The multi-tenant run at a glance."""
+    names = tenant_names(timeseries)
+    if not names:
+        return "tenant dashboard: no tenant-labelled series sampled"
+    if report is None:
+        report = summarize(timeseries, specs)
+    interval_ms = 0.0
+    times = timeseries.times()
+    if len(times) >= 2:
+        interval_ms = (times[-1] - times[0]) / (len(times) - 1)
+    lines: List[str] = [
+        f"tenants ({len(names)}), {len(timeseries.samples)} samples "
+        f"@ ~{interval_ms:.0f} ms"
+    ]
+    ops_rows = interval_ops(timeseries, names)
+    for name in names:
+        lines.append(f"  {name}")
+        per_interval = [(t, row[name]) for t, row in ops_rows]
+        lines.append(_row("ops/interval", per_interval, width))
+        p99 = p99_timeline(timeseries, [name])
+        finite = [(t, v) for t, v in p99 if v != float("inf")]
+        if finite:
+            lines.append(_row("p99 ms", finite, width, fmt="{:,.1f}"))
+    lines.append("  fairness (Jain index per interval)")
+    lines.append(_row("jain", report.timeline, width, fmt="{:.3f}"))
+    lines.append("")
+    lines.append(report.render())
+    return "\n".join(lines)

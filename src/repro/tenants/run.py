@@ -1,0 +1,127 @@
+"""The reusable multi-tenant run driver behind ``repro tenants``.
+
+One :func:`run_tenants` call builds a traced + telemetered λFS over
+the merged tenant namespaces, tags each tenant's client fleet, drives
+every tenant's closed-loop workload for a fixed duration, and folds
+the sampled per-tenant series into a
+:class:`~repro.tenants.fairness.FairnessReport`.  The result carries
+everything the CLI / tests need: per-tenant counts, the report, the
+raw timeseries and registry, the kernel event hash, and (optionally)
+a per-tenant critical-path profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+from repro.sim import Environment
+from repro.tenants.context import TenantGovernor, TenantSpec, default_tenants
+from repro.tenants.fairness import FairnessReport, summarize
+from repro.tenants.telemetry import install_tenant_telemetry
+
+if TYPE_CHECKING:  # import-time cycle; the name is for annotations only
+    from repro.workloads.multitenant import TenantCounts
+
+
+@dataclass(frozen=True)
+class TenantRunConfig:
+    """Shape of one multi-tenant run."""
+
+    seed: int = 0
+    duration_ms: float = 10_000.0
+    deployments: int = 4
+    vcpus: float = 512.0
+    instances_per_deployment: int = 2
+    telemetry_interval_ms: float = 250.0
+    governed: bool = False
+    """Attach a :class:`TenantGovernor` (QoS rate caps).  Off by
+    default: a compliant cast never hits its budget, so the governor
+    only matters when composing with chaos floods."""
+    governor_headroom: float = 2.0
+    governor_burst_ms: float = 250.0
+    profile: bool = False
+    """Also attribute every op's critical path (slower; enables the
+    per-tenant stage breakdown)."""
+
+
+@dataclass
+class TenantRunResult:
+    """Everything one multi-tenant run produced."""
+
+    specs: Tuple[TenantSpec, ...]
+    counts: Dict[str, TenantCounts]
+    report: FairnessReport
+    timeseries: object
+    registry: object
+    tracer: object
+    event_hash: str
+    duration_ms: float
+    profile: Optional[object] = None
+    throttled: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(c.issued for c in self.counts.values())
+
+
+def run_tenants(
+    specs: Optional[Sequence[TenantSpec]] = None,
+    config: Optional[TenantRunConfig] = None,
+) -> TenantRunResult:
+    """Drive ``specs`` (default: :func:`default_tenants`) for
+    ``config.duration_ms`` and summarize fairness/QoS."""
+    # Imported here: the harness pulls in repro.workloads, whose
+    # package init imports the multitenant driver, which needs this
+    # package — a cycle at import time but not at call time.
+    from repro.bench.harness import build_lambdafs, drive
+    from repro.workloads.multitenant import MultiTenantWorkload
+
+    specs = tuple(specs) if specs is not None else default_tenants()
+    config = config or TenantRunConfig()
+    env = Environment()
+    workload = MultiTenantWorkload(env, specs, seed=config.seed)
+    handle = build_lambdafs(
+        env,
+        workload.namespace(),
+        vcpus=config.vcpus,
+        deployments=config.deployments,
+        seed=config.seed,
+        trace=True,
+        telemetry=True,
+        telemetry_interval_ms=config.telemetry_interval_ms,
+    )
+    install_tenant_telemetry(env.metrics, [spec.name for spec in specs])
+    governor = None
+    if config.governed:
+        governor = TenantGovernor.for_tenants(
+            env, specs,
+            headroom=config.governor_headroom,
+            burst_ms=config.governor_burst_ms,
+        )
+        workload.governor = governor
+    drive(env, handle.system.prewarm(config.instances_per_deployment))
+    clients = handle.make_clients(workload.total_clients())
+    fleets = workload.partition_clients(clients)
+    drive(env, workload.run(fleets, config.duration_ms))
+    if handle.telemetry is not None:
+        handle.telemetry.stop()
+    timeseries = handle.telemetry.timeseries
+    report = summarize(timeseries, specs=specs)
+    profile = None
+    if config.profile:
+        from repro.profile.critical_path import analyze_trace
+
+        profile = analyze_trace(handle.tracer)
+    return TenantRunResult(
+        specs=specs,
+        counts=workload.counts,
+        report=report,
+        timeseries=timeseries,
+        registry=env.metrics,
+        tracer=handle.tracer,
+        event_hash=handle.tracer.event_hash(),
+        duration_ms=env.now,
+        profile=profile,
+        throttled=dict(governor.throttled) if governor is not None else {},
+    )

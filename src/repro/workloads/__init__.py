@@ -11,16 +11,32 @@
 * :mod:`repro.workloads.replay` — replay recorded audit-log traces
   against any client (the paper's workload is synthesized from such
   traces; users with real ones can replay them directly).
+* :mod:`repro.workloads.mltrain` — an ML-training ingest pipeline:
+  shuffled small-file read storms over a flat dataset directory with
+  per-epoch checkpoint create bursts.
+* :mod:`repro.workloads.multitenant` — N tenants with distinct op
+  mixes, think times, and burst shapes sharing one λFS (the driver
+  behind ``repro tenants`` and the noisy-neighbor chaos scenarios).
 """
 
 from repro.workloads.micro import MicroBenchmark, MicroResult
+from repro.workloads.mltrain import MLTrainConfig, MLTrainResult, MLTrainWorkload
+from repro.workloads.multitenant import (
+    WORKLOAD_MIXES,
+    MultiTenantWorkload,
+    TenantCounts,
+)
 from repro.workloads.replay import TraceRecord, TraceReplayer, load_trace, parse_trace
 from repro.workloads.spotify import SPOTIFY_MIX, SpotifyConfig, SpotifyWorkload
 from repro.workloads.treetest import TreeTest, TreeTestConfig
 
 __all__ = [
+    "MLTrainConfig",
+    "MLTrainResult",
+    "MLTrainWorkload",
     "MicroBenchmark",
     "MicroResult",
+    "MultiTenantWorkload",
     "SPOTIFY_MIX",
     "SpotifyConfig",
     "SpotifyWorkload",

@@ -1,0 +1,92 @@
+"""Property-based tests: Jain's fairness index behaves like the paper
+formula ``(Σx)² / (n·Σx²)`` must — bounded, permutation-invariant,
+scale-invariant, and extremal exactly at equal shares / single hogs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tenants import jain_index
+
+pytestmark = pytest.mark.tenant
+
+share = st.floats(min_value=0.0, max_value=1e9,
+                  allow_nan=False, allow_infinity=False)
+shares = st.lists(share, min_size=1, max_size=32)
+positive_shares = st.lists(
+    st.floats(min_value=1e-6, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=32,
+)
+
+
+@settings(max_examples=300)
+@given(shares)
+def test_result_bounded_in_unit_interval(values):
+    index = jain_index(values)
+    # Lower bound 1/n is achieved by a single hog; 1.0 by equality.
+    assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+@settings(max_examples=200)
+@given(st.floats(min_value=1e-6, max_value=1e9, allow_nan=False),
+       st.integers(min_value=1, max_value=32))
+def test_equal_shares_score_one(value, count):
+    assert jain_index([value] * count) == pytest.approx(1.0)
+
+
+@settings(max_examples=200)
+@given(shares, st.randoms(use_true_random=False))
+def test_permutation_invariant(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    assert jain_index(shuffled) == pytest.approx(jain_index(values))
+
+
+@settings(max_examples=200)
+@given(positive_shares,
+       st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+def test_scale_invariant(values, factor):
+    scaled = [v * factor for v in values]
+    assert jain_index(scaled) == pytest.approx(
+        jain_index(values), rel=1e-6
+    )
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=2, max_value=32),
+       st.floats(min_value=1e-3, max_value=1e9, allow_nan=False))
+def test_single_hog_scores_one_over_n(n, amount):
+    values = [0.0] * n
+    values[random.Random(n).randrange(n)] = amount
+    assert jain_index(values) == pytest.approx(1.0 / n)
+
+
+@settings(max_examples=200)
+@given(positive_shares, st.integers(min_value=0, max_value=31),
+       st.floats(min_value=1.1, max_value=1e3, allow_nan=False))
+def test_boosting_one_tenant_never_improves_perfect_fairness(
+    values, index, factor
+):
+    """Starting from equal shares, inflating any single tenant
+    strictly lowers the index."""
+    equal = [values[0]] * len(values)
+    boosted = list(equal)
+    boosted[index % len(boosted)] *= factor
+    if len(boosted) > 1:
+        assert jain_index(boosted) < jain_index(equal)
+
+
+@given(st.lists(share, min_size=1, max_size=8))
+def test_appending_a_zero_share_tenant_lowers_or_keeps(values):
+    """An idle tenant can only hurt fairness (or leave the degenerate
+    all-zero case vacuously fair)."""
+    with_idle = values + [0.0]
+    assert jain_index(with_idle) <= jain_index(values) + 1e-9
+
+
+def test_negative_shares_rejected():
+    with pytest.raises(ValueError):
+        jain_index([3.0, -1.0])

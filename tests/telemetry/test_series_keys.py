@@ -1,0 +1,65 @@
+"""Series-key round-trips and dashboard label extraction edge cases.
+
+``series_key`` / ``parse_series_key`` are the contract between the
+registry, the sampler, the dashboards, and the tenant fairness math —
+label values are user-influenced strings (paths, tenant names), so
+the parser must survive separators and quoting inside values.
+"""
+
+import pytest
+
+from repro.telemetry.dashboard import _label_of
+from repro.telemetry.registry import label_key, parse_series_key, series_key
+
+pytestmark = pytest.mark.telemetry
+
+
+def _roundtrip(name, labels):
+    key = series_key(name, label_key(labels))
+    parsed_name, parsed = parse_series_key(key)
+    assert parsed_name == name
+    assert parsed == {str(k): str(v) for k, v in labels.items()}
+
+
+def test_label_less_key_roundtrips():
+    assert series_key("ops_total", ()) == "ops_total"
+    assert parse_series_key("ops_total") == ("ops_total", {})
+
+
+def test_single_and_multi_label_roundtrip():
+    _roundtrip("ops_total", {"op": "read_file"})
+    _roundtrip("tenant_latency_bucket",
+               {"tenant": "acme", "le": "+Inf", "op": "stat"})
+
+
+def test_labels_are_canonically_sorted():
+    first = series_key("f", label_key({"b": "2", "a": "1"}))
+    second = series_key("f", label_key({"a": "1", "b": "2"}))
+    assert first == second == 'f{a="1",b="2"}'
+
+
+def test_label_values_containing_separators():
+    # '=' and ',' inside values must not split the label list.
+    _roundtrip("f", {"expr": "a=b", "list": "x,y,z"})
+    key = series_key("f", label_key({"expr": "a=b,c=d"}))
+    assert parse_series_key(key)[1] == {"expr": "a=b,c=d"}
+
+
+def test_label_values_containing_quotes_and_backslashes():
+    _roundtrip("f", {"path": '/logs/"hot"'})
+    _roundtrip("f", {"pattern": "a\\b"})
+    _roundtrip("f", {"note": "line1\nline2"})
+
+
+def test_non_string_label_values_stringify():
+    key = series_key("f", label_key({"shard": 3, "le": 2.5}))
+    assert parse_series_key(key)[1] == {"shard": "3", "le": "2.5"}
+
+
+def test_label_of_prefers_label_and_falls_back_to_name():
+    key = series_key("faas_instances_live",
+                     label_key({"deployment": "d2"}))
+    assert _label_of(key, "deployment") == "d2"
+    # Missing label: the family name is the display fallback.
+    assert _label_of(key, "tenant") == "faas_instances_live"
+    assert _label_of("plain_series", "anything") == "plain_series"

@@ -1,0 +1,12 @@
+import pytest
+
+from tests.chaos.conftest import reset_sim_counters  # noqa: F401
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sim_counters(reset_sim_counters):
+    """Every tenants test starts from counter 1, and monkeypatch
+    restores the module-level counters afterwards — so these tests
+    neither depend on nor perturb the id sequences other test modules
+    observe."""
+    yield

@@ -1,0 +1,132 @@
+"""The multi-tenant driver end-to-end: telemetry, hashes, profiles."""
+
+import pytest
+
+from repro.bench.harness import build_lambdafs, drive
+from repro.namespace.treegen import TreeSpec
+from repro.sim import Environment
+from repro.tenants import (
+    TenantRunConfig,
+    TenantSpec,
+    install_tenant_telemetry,
+    run_tenants,
+)
+from repro.tenants.telemetry import TENANT_FAMILIES
+from repro.workloads import WORKLOAD_MIXES, MultiTenantWorkload
+
+pytestmark = [pytest.mark.tenant, pytest.mark.slow]
+
+
+SMALL_TREE = TreeSpec(depth=2, dirs_per_dir=2, files_per_dir=4)
+
+SMALL_CAST = (
+    TenantSpec("alpha", workload="mixed", clients=2, think_ms=20.0,
+               tree=SMALL_TREE),
+    TenantSpec("beta", workload="readstorm", clients=2, think_ms=20.0,
+               tree=SMALL_TREE),
+)
+
+SMALL_RUN = TenantRunConfig(
+    duration_ms=1_500.0, deployments=2, vcpus=128.0,
+    telemetry_interval_ms=200.0,
+)
+
+
+def test_mix_weights_cover_every_archetype():
+    from repro.tenants import WORKLOADS
+
+    assert set(WORKLOAD_MIXES) == set(WORKLOADS)
+    for mix in WORKLOAD_MIXES.values():
+        assert all(weight > 0 for weight in mix.values())
+
+
+def test_run_emits_per_tenant_series(reset_sim_counters):
+    result = run_tenants(SMALL_CAST, SMALL_RUN)
+    assert result.total_ops > 0
+    for name in ("alpha", "beta"):
+        assert result.counts[name].issued > 0
+        assert result.counts[name].failed == 0
+    keys = "\n".join(result.timeseries.keys())
+    for family in ("tenant_ops_total", "tenant_op_latency_ms_count",
+                   "tenant_latency_bucket", "tenant_cache_hits_total"):
+        assert f'{family}' in keys
+        assert 'tenant="alpha"' in keys and 'tenant="beta"' in keys
+    stats = {s.name for s in result.report.tenants}
+    assert stats == {"alpha", "beta"}
+
+
+def test_same_seed_same_hash(reset_sim_counters):
+    first = run_tenants(SMALL_CAST, SMALL_RUN)
+    reset_sim_counters()
+    second = run_tenants(SMALL_CAST, SMALL_RUN)
+    assert first.event_hash == second.event_hash
+    assert {n: c.issued for n, c in first.counts.items()} == {
+        n: c.issued for n, c in second.counts.items()
+    }
+
+
+def _hash_of_run(tagged: bool, reset) -> str:
+    """One multi-tenant run with tracing on and telemetry OFF; with
+    ``tagged=False`` the clients carry no tenant identity."""
+    reset()
+    env = Environment()
+    workload = MultiTenantWorkload(env, SMALL_CAST, seed=3)
+    handle = build_lambdafs(
+        env, workload.namespace(),
+        deployments=2, vcpus=128.0, seed=3, trace=True,
+    )
+    drive(env, handle.system.prewarm(1))
+    clients = handle.make_clients(workload.total_clients())
+    fleets = workload.partition_clients(clients)
+    if not tagged:
+        for client in clients:
+            client.tenant = None
+    drive(env, workload.run(fleets, 1_200.0))
+    return handle.tracer.event_hash()
+
+
+def test_tenant_labels_do_not_perturb_event_hash(reset_sim_counters):
+    """The acceptance gate: with telemetry off, tagging clients with
+    tenant identities (span attrs only) must leave the kernel
+    event-sequence hash byte-identical."""
+    tagged = _hash_of_run(True, reset_sim_counters)
+    untagged = _hash_of_run(False, reset_sim_counters)
+    assert tagged == untagged
+
+
+def test_per_tenant_stage_sums_tile_op_latency(reset_sim_counters):
+    from dataclasses import replace
+
+    result = run_tenants(SMALL_CAST, replace(SMALL_RUN, profile=True))
+    by_tenant = result.profile.by_tenant()
+    assert set(by_tenant) >= {"alpha", "beta"}
+    for tenant in ("alpha", "beta"):
+        ops = by_tenant[tenant]
+        assert ops
+        for op in ops:
+            assert op.tenant == tenant
+            span_ms = op.end_ms - op.start_ms
+            assert sum(op.stages.values()) == pytest.approx(
+                span_ms, abs=1e-6
+            )
+
+
+def test_governed_compliant_run_hash_matches_ungoverned(
+    reset_sim_counters,
+):
+    """A compliant cast never hits its budget, so attaching the
+    governor must not change the event sequence."""
+    from dataclasses import replace
+
+    plain = run_tenants(SMALL_CAST, SMALL_RUN)
+    reset_sim_counters()
+    governed = run_tenants(SMALL_CAST, replace(SMALL_RUN, governed=True))
+    assert plain.event_hash == governed.event_hash
+    assert governed.throttled == {}
+
+
+def test_partition_requires_enough_clients():
+    env = Environment()
+    workload = MultiTenantWorkload(env, SMALL_CAST, seed=0)
+    with pytest.raises(ValueError, match="need 4 clients"):
+        workload.partition_clients([object(), object()])
