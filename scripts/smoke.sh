@@ -134,6 +134,32 @@ print(f"tenant smoke ok: {sorted(tenants)} tenants, "
       f"{len(buckets)} bucket series")
 EOF
 
+# Incidents smoke: one fault scenario with online detection — the
+# detector must page, the correlator must blame the injected fault,
+# and the JSON export must round-trip through the report loader.
+python -m repro incidents run ack-loss --clients 12 --window 4000 \
+    --drain 5000 --out "$out/incidents" > "$out/incidents.txt"
+grep -q "PASS detection: incident #0 blamed fault:ack_loss" \
+    "$out/incidents.txt"
+grep -q "suspect 1. injected fault 'ack_loss'" "$out/incidents.txt"
+python - "$out" <<'EOF'
+import sys
+
+from repro.incidents import load_report
+
+out = sys.argv[1]
+report = load_report(f"{out}/incidents/incidents.json")
+assert report.scenario == "ack-loss", report.scenario
+assert report.detected, "no incidents in the export"
+top = report.incidents[0].top_suspect
+assert top is not None and top.fault_kind == "ack_loss", top
+assert report.mttd_ms is not None and report.mttd_ms <= 4_000.0
+md = open(f"{out}/incidents/incidents.md").read()
+assert "# Incident report" in md and "ack_loss" in md
+print(f"incidents smoke ok: {len(report.incidents)} incident(s), "
+      f"MTTD {report.mttd_ms:.0f} ms, top suspect {top.kind}")
+EOF
+
 # Kernel smoke: the quick events/sec gate against the committed
 # baseline — fails on a >25% regression at the quick scale point.
 # (The baseline is best-of-repeats; host noise alone is ~±10%, so the

@@ -115,6 +115,15 @@ class ChaosRunConfig:
     """QoS governor budget per tenant, as a multiple of its nominal
     demand (see :meth:`TenantGovernor.for_tenants`)."""
     governor_burst_ms: float = 250.0
+    detect: bool = False
+    """Attach the :class:`repro.incidents.AlertEngine` to the sampler
+    (the single-``is None`` ``on_sample`` hook), evaluate alert rules
+    online, and run incident grouping + root-cause attribution after
+    the run.  Adds no sim events and draws no RNG, so the event hash
+    and fault-log hash are byte-identical either way — and the
+    verifier gains the detection gate (gate 6)."""
+    ruleset: str = "default"
+    """Named rule catalog from :data:`repro.incidents.RULESETS`."""
 
 
 @dataclass
@@ -137,6 +146,9 @@ class ChaosRunResult:
     when the run was multi-tenant."""
     timeseries: Optional[object] = None
     """The sampled telemetry, for post-run fairness analysis."""
+    incidents: Optional[object] = None
+    """The :class:`repro.incidents.IncidentReport` of a ``detect``
+    run; None when detection was off."""
 
     @property
     def passed(self) -> bool:
@@ -146,12 +158,19 @@ class ChaosRunResult:
         errors = ", ".join(
             f"{name}={count}" for name, count in sorted(self.errors.items())
         ) or "none"
-        return (
+        line = (
             f"{self.scenario.name}: {'PASS' if self.passed else 'FAIL'} "
             f"ok={self.ops_ok} failed={self.ops_failed} "
             f"errors=[{errors}] t={self.duration_ms:.0f}ms "
             f"events={self.event_hash[:12]} faults={self.log_hash[:12]}"
         )
+        if self.incidents is not None:
+            mttd = self.incidents.mttd_ms
+            line += (
+                f" incidents={len(self.incidents.incidents)}"
+                + (f" mttd={mttd:.0f}ms" if mttd is not None else "")
+            )
+        return line
 
 
 def _client_loop(
@@ -246,6 +265,18 @@ def run_scenario(
         **build_extra,
     )
     fs = handle.system
+    detector = None
+    if config.detect and handle.telemetry is not None:
+        # Online detection: the engine rides the sampler's on_sample
+        # hook — pure arithmetic per sample, no events, no RNG — and
+        # mirrors firing state back into the same registry so
+        # alerts_firing/alerts_fired_total land in the exports.
+        from repro.incidents import AlertEngine, get_ruleset
+
+        detector = handle.telemetry.attach_detector(
+            AlertEngine(get_ruleset(config.ruleset),
+                        registry=handle.telemetry.registry)
+        )
     fleet = None
     if fleet_config is not None:
         fleet = DataNodeFleet(
@@ -325,6 +356,27 @@ def run_scenario(
     engine.stop()
     if handle.telemetry is not None:
         handle.telemetry.stop()
+    incident_report = None
+    if detector is not None:
+        from repro.incidents import Evidence, build_report
+        from repro.profile import analyze_trace
+
+        alerts = detector.finish(env.now)
+        evidence = Evidence(
+            fault_log=engine.log,
+            profile=(
+                analyze_trace(handle.tracer)
+                if handle.tracer is not None else None
+            ),
+            timeseries=handle.telemetry.timeseries,
+        )
+        incident_report = build_report(
+            alerts, evidence,
+            scenario=scenario.name,
+            seed=config.seed,
+            first_fault_at_ms=engine.first_fault_at_ms,
+            end_ms=env.now,
+        )
     verifier = ChaosVerifier(
         tracer=handle.tracer,
         timeseries=(
@@ -334,6 +386,7 @@ def run_scenario(
         slo=config.slo,
         fleet=fleet if config.datanode_start else None,
         tenants=tenant_specs if workload is not None else None,
+        incidents=incident_report,
     )
     report = verifier.verify()
     return ChaosRunResult(
@@ -352,6 +405,7 @@ def run_scenario(
             handle.telemetry.timeseries
             if handle.telemetry is not None else None
         ),
+        incidents=incident_report,
     )
 
 

@@ -56,6 +56,13 @@ def builtin_scenarios() -> Dict[str, Scenario]:
     """Name → scenario for the whole built-in catalog."""
     scenarios = [
         Scenario(
+            name="control",
+            description="no-fault control: steady-state load only — the "
+                        "detection gate requires zero incidents (any page "
+                        "is a false positive)",
+            faults=(),
+        ),
+        Scenario(
             name="nn-kills",
             description="§5.6: a warm NameNode dies every 900 ms for 4 s "
                         "(seeded random victims)",

@@ -52,6 +52,11 @@ class RecoverySLO:
     """Floor on the victim-p99 recovery bound — interval quantiles are
     bucket upper bounds, so a sub-ms baseline would otherwise make the
     bound finer than the histogram can resolve."""
+    detection_window_ms: float = 4_000.0
+    """Gate 6 (detection): an incident blaming the injected fault must
+    open within this long of the first fault activating (MTTD bound).
+    Generous relative to the sampling interval + rule sustain windows,
+    tight relative to the fault windows themselves."""
 
 
 @dataclass
@@ -81,6 +86,12 @@ class VerifierReport:
     fairness_recovery_ms: Optional[float] = None
     """Last-fault-clear → first interval back inside both fairness
     bands (Jain floor and victim-p99 bound)."""
+    incidents_detected: Optional[int] = None
+    """Incident count from the detection gate (None = gate not run)."""
+    detection_ms: Optional[float] = None
+    """First-fault-activation → matching incident opening (MTTD)."""
+    top_suspect: Optional[str] = None
+    """The matching incident's top-ranked suspect kind."""
 
     def _ok(self, message: str) -> None:
         self.checks.append(f"PASS {message}")
@@ -137,6 +148,7 @@ class ChaosVerifier:
         slo: Optional[RecoverySLO] = None,
         fleet: Any = None,
         tenants: Any = None,
+        incidents: Any = None,
     ) -> None:
         self.tracer = tracer
         self.timeseries = timeseries
@@ -146,6 +158,10 @@ class ChaosVerifier:
         self.tenants = tenants
         """Tenant specs of a multi-tenant run (for fair-share weights
         and SLO targets); None outside tenant mode."""
+        self.incidents = incidents
+        """An :class:`repro.incidents.IncidentReport` from a
+        ``--detect`` run; None keeps gate 6 out of the verdict
+        entirely (detector-off runs are judged as before)."""
 
     def verify(self) -> VerifierReport:
         report = VerifierReport()
@@ -154,6 +170,7 @@ class ChaosVerifier:
         self._check_slos(report)
         self._check_replication(report)
         self._check_fairness(report)
+        self._check_detection(report)
         return report
 
     # -- gate 1: invariants --------------------------------------------
@@ -470,4 +487,87 @@ class ChaosVerifier:
             f"(floor {self.slo.jain_floor:g}) / victim p99 "
             f"{last_p99:.1f} ms (bound {bound:.1f} ms) "
             f"{self.slo.window_ms:.0f} ms after faults cleared"
+        )
+
+    # -- gate 6: detection ---------------------------------------------
+    def _injected_kinds(self) -> List[str]:
+        scenario = (
+            getattr(self.engine, "scenario", None)
+            if self.engine is not None else None
+        )
+        if scenario is None:
+            return []
+        return sorted({spec.kind for spec in scenario.faults})
+
+    def _check_detection(self, report: VerifierReport) -> None:
+        """The detector caught the fault — and blamed the right thing.
+
+        Only engages when an incident report was handed in (a
+        ``--detect`` run); detector-off runs keep their five-gate
+        verdict untouched.  Two contracts:
+
+        * **fault scenarios** — at least one incident must open within
+          ``detection_window_ms`` of the first activation *and* its
+          top-ranked suspect must be one of the injected fault kinds
+          (a detected-but-misattributed incident is a FAIL: an on-call
+          chasing the wrong suspect is as bad as no page);
+        * **no-fault control** — zero incidents: any page in a clean
+          run is a false positive and fails the gate.
+        """
+        if self.incidents is None:
+            return
+        incidents = self.incidents.incidents
+        report.incidents_detected = len(incidents)
+        kinds = self._injected_kinds()
+        if not kinds:
+            if incidents:
+                report._fail(
+                    f"detection: {len(incidents)} incident(s) paged in a "
+                    "no-fault run (false positive)"
+                )
+            else:
+                report._ok("detection: no faults, no incidents")
+            return
+        if not incidents:
+            report._fail(
+                f"detection: injected {', '.join(kinds)} but no incident "
+                "was detected"
+            )
+            return
+        window = self.slo.detection_window_ms
+        matched = None
+        for incident in incidents:
+            top = incident.top_suspect
+            if top is None or getattr(top, "fault_kind", None) not in kinds:
+                continue
+            if incident.mttd_ms is not None and incident.mttd_ms > window:
+                continue
+            matched = incident
+            break
+        if matched is None:
+            first = incidents[0]
+            top = first.top_suspect
+            blamed = top.kind if top is not None else "nothing"
+            mttd = (
+                f"{first.mttd_ms:.0f} ms" if first.mttd_ms is not None
+                else "n/a"
+            )
+            report.top_suspect = top.kind if top is not None else None
+            report.detection_ms = first.mttd_ms
+            report._fail(
+                f"detection: no incident blamed an injected fault "
+                f"({', '.join(kinds)}) within {window:.0f} ms "
+                f"(first incident blamed {blamed}, MTTD {mttd})"
+            )
+            return
+        report.detection_ms = matched.mttd_ms
+        report.top_suspect = matched.top_suspect.kind
+        mttd = (
+            f"{matched.mttd_ms:.0f} ms" if matched.mttd_ms is not None
+            else "n/a"
+        )
+        report._ok(
+            f"detection: incident #{matched.index} blamed "
+            f"{matched.top_suspect.kind} (MTTD {mttd}, "
+            f"score {matched.top_suspect.score:.2f})"
         )

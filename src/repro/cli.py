@@ -16,7 +16,13 @@ Commands:
   spans dump;
 * ``chaos`` — deterministic fault injection: ``run`` one scenario
   (built-in name or JSON file) under load and verify recovery,
-  ``matrix`` the regression scenario set;
+  ``matrix`` the regression scenario set (add ``--detect`` for online
+  alerting + the detection gate);
+* ``incidents`` — online SLO alerting + root-cause attribution:
+  ``run`` one detected chaos scenario (incident timeline report),
+  ``matrix`` the detection regression set with ``BENCH_incidents.json``
+  baselines, ``analyze`` a telemetry JSONL export offline, ``rules``
+  the alert-rule catalog;
 * ``bench`` — wall-clock benchmarks of the toolkit itself: ``kernel``
   measures raw simulator events/sec + peak RSS at 1k/10k/100k client
   scales, with ``--baseline`` regression gating against a committed
@@ -382,7 +388,7 @@ def _cmd_profile(args) -> int:
     raise ValueError(f"unknown profile subcommand {args.profile_command!r}")
 
 
-def _chaos_run_config(args):
+def _chaos_run_config(args, detect: Optional[bool] = None):
     from repro.chaos import ChaosRunConfig, RecoverySLO
 
     return ChaosRunConfig(
@@ -396,6 +402,11 @@ def _chaos_run_config(args):
         slo=RecoverySLO(window_ms=args.window),
         datanodes=args.datanodes,
         chunk_write_fraction=args.chunk_write_frac,
+        detect=(
+            detect if detect is not None
+            else getattr(args, "detect", False)
+        ),
+        ruleset=getattr(args, "ruleset", "default"),
     )
 
 
@@ -406,6 +417,9 @@ def _chaos_result_lines(result) -> List[str]:
         f"fault log: {len(result.engine.log)} event(s), "
         f"{len(injections)} injection(s), hash {result.log_hash}"
     )
+    if result.incidents is not None:
+        lines.append("")
+        lines.append(result.incidents.render())
     return lines
 
 
@@ -491,6 +505,12 @@ def _cmd_chaos(args) -> int:
                 "event_hash": result.event_hash,
                 "fault_log_hash": result.log_hash,
             }
+            if result.incidents is not None:
+                records[name].update({
+                    "incidents": len(result.incidents.incidents),
+                    "mttd_ms": result.incidents.mttd_ms,
+                    "top_suspect": result.report.top_suspect,
+                })
             if result.tenant_counts is not None:
                 records[name].update({
                     "tenants": {
@@ -535,6 +555,187 @@ def _cmd_chaos(args) -> int:
         return exit_code
 
     raise ValueError(f"unknown chaos subcommand {args.chaos_command!r}")
+
+
+def _incident_rules(args):
+    """Resolve --ruleset / --rules-file into a rule list."""
+    from repro.incidents import get_ruleset, load_rules
+
+    if getattr(args, "rules_file", None):
+        with open(args.rules_file) as handle:
+            return load_rules(handle.read())
+    return get_ruleset(getattr(args, "ruleset", "default"))
+
+
+def _incidents_exports(result, out: str) -> List[str]:
+    """Write incidents.json / incidents.md / telemetry.jsonl to ``out``."""
+    import os
+
+    from repro.telemetry.export import write_jsonl
+
+    os.makedirs(out, exist_ok=True)
+    paths = [result.incidents.save(os.path.join(out, "incidents.json"))]
+    md = os.path.join(out, "incidents.md")
+    with open(md, "w") as handle:
+        handle.write(result.incidents.render_markdown())
+    paths.append(md)
+    if result.timeseries is not None:
+        series = os.path.join(out, "telemetry.jsonl")
+        write_jsonl(result.timeseries, series)
+        paths.append(series)
+    return paths
+
+
+def _cmd_incidents(args) -> int:
+    import json
+    import os
+
+    from repro.incidents import (
+        AlertEngine,
+        Evidence,
+        build_report,
+        rule_to_dict,
+    )
+
+    if args.incidents_command == "rules":
+        rules = _incident_rules(args)
+        if args.json:
+            print(json.dumps(
+                [rule_to_dict(rule) for rule in rules],
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        rows = [
+            [rule.name, rule.kind, rule.severity, rule.condition(),
+             rule.description]
+            for rule in rules
+        ]
+        print(tabulate(
+            ["rule", "kind", "severity", "condition", "description"], rows
+        ))
+        return 0
+
+    if args.incidents_command == "analyze":
+        from repro.telemetry import read_jsonl
+
+        timeseries = read_jsonl(args.series)
+        engine = AlertEngine(_incident_rules(args))
+        alerts = engine.replay(timeseries)
+        end_ms = timeseries.samples[-1][0] if timeseries.samples else 0.0
+        report = build_report(
+            alerts, Evidence(timeseries=timeseries),
+            scenario=args.scenario or os.path.basename(args.series),
+            end_ms=end_ms,
+        )
+        print(report.render())
+        if args.json:
+            report.save(args.json)
+            print(f"\nincidents json: {args.json}")
+        return 0
+
+    from repro.chaos import EXPECTED_FAIL, MATRIX, builtin_scenarios, \
+        load_scenario, run_scenario
+
+    if args.incidents_command == "run":
+        if args.file:
+            scenario = load_scenario(args.file)
+        else:
+            scenario = builtin_scenarios().get(args.scenario or "")
+            if scenario is None:
+                print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+                return 2
+        result = run_scenario(scenario, _chaos_run_config(args, detect=True))
+        print(result.summary())
+        print(result.report.render())
+        print()
+        print(result.incidents.render())
+        if args.out:
+            print("\nexports:")
+            for path in _incidents_exports(result, args.out):
+                print(f"  {path}")
+        return 0 if result.passed else 1
+
+    if args.incidents_command == "matrix":
+        scenarios = builtin_scenarios()
+        names = (
+            list(args.scenarios) if args.scenarios
+            else list(MATRIX) + ["control"]
+        )
+        unknown = [n for n in names if n not in scenarios]
+        if unknown:
+            print(f"unknown scenario(s): {unknown}", file=sys.stderr)
+            return 2
+        config = _chaos_run_config(args, detect=True)
+        rows = []
+        records = {}
+        exit_code = 0
+        for name in names:
+            result = run_scenario(scenarios[name], config)
+            expected_fail = name in EXPECTED_FAIL
+            ok = result.passed != expected_fail
+            if not ok:
+                exit_code = 1
+                print(result.report.render())
+            incidents = result.incidents
+            mttd = incidents.mttd_ms
+            rows.append([
+                name,
+                ("PASS" if result.passed else "FAIL")
+                + (" (expected)" if expected_fail and ok else "")
+                + (" (!)" if not ok else ""),
+                len(incidents.incidents),
+                "-" if mttd is None else f"{mttd:.0f} ms",
+                result.report.top_suspect or "-",
+            ])
+            records[name] = {
+                "passed": result.passed,
+                "expected_fail": expected_fail,
+                "incidents": len(incidents.incidents),
+                "alerts": incidents.alerts_total,
+                "mttd_ms": mttd,
+                "top_suspect": result.report.top_suspect,
+                "event_hash": result.event_hash,
+                "fault_log_hash": result.log_hash,
+            }
+        print(tabulate(
+            ["scenario", "verdict", "incidents", "MTTD", "top suspect"], rows
+        ))
+        if args.bench_json:
+            with open(args.bench_json, "w") as fh:
+                json.dump(
+                    {"version": 1, "seed": args.seed,
+                     "detection_window_ms": config.slo.detection_window_ms,
+                     "scenarios": records},
+                    fh, indent=2, sort_keys=True,
+                )
+            print(f"\nbench json: {args.bench_json}")
+        if args.baseline:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+            drift = []
+            for name, expected in sorted(baseline["scenarios"].items()):
+                got = records.get(name)
+                if got is None:
+                    continue
+                for field in ("passed", "incidents", "top_suspect"):
+                    if got[field] != expected[field]:
+                        drift.append(
+                            f"{name}: {field} {expected[field]!r} -> "
+                            f"{got[field]!r}"
+                        )
+            if drift:
+                exit_code = 1
+                print("\ndetection baseline drift:")
+                for line in drift:
+                    print(f"  {line}")
+            else:
+                print("\ndetection baseline: OK")
+        print("detection matrix:", "PASS" if exit_code == 0 else "FAIL")
+        return exit_code
+
+    raise ValueError(
+        f"unknown incidents subcommand {args.incidents_command!r}"
+    )
 
 
 def _cmd_tenants(args) -> int:
@@ -791,6 +992,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chunk-write-frac", type=float, default=0.25,
                        help="fraction of ops that are pipelined chunk "
                             "writes when a fleet is attached")
+        p.add_argument("--ruleset", default="default",
+                       help="alert rule catalog for --detect runs")
+
+    chaos_detect_help = ("attach the online alert engine and add the "
+                         "detection gate to the verdict")
 
     chaos_run = chaos_sub.add_parser(
         "run", help="one scenario under load + recovery verification"
@@ -803,6 +1009,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="list built-in scenarios and exit")
     chaos_run.add_argument("--verbose", action="store_true",
                            help="print the full fault log")
+    chaos_run.add_argument("--detect", action="store_true",
+                           help=chaos_detect_help)
     _chaos_knobs(chaos_run)
 
     chaos_matrix = chaos_sub.add_parser(
@@ -812,7 +1020,68 @@ def build_parser() -> argparse.ArgumentParser:
                               help="override the default matrix set")
     chaos_matrix.add_argument("--bench-json", default=None, metavar="PATH",
                               help="write per-scenario verdicts + hashes JSON")
+    chaos_matrix.add_argument("--detect", action="store_true",
+                              help=chaos_detect_help)
     _chaos_knobs(chaos_matrix)
+
+    incidents = sub.add_parser(
+        "incidents",
+        help="online alerting + root-cause attribution: "
+             "run / matrix / analyze / rules",
+    )
+    incidents_sub = incidents.add_subparsers(
+        dest="incidents_command", required=True
+    )
+
+    incidents_run = incidents_sub.add_parser(
+        "run", help="one chaos scenario with detection on: incident "
+                    "timeline + ranked suspects"
+    )
+    incidents_run.add_argument("scenario", nargs="?", default=None,
+                               help="built-in scenario name")
+    incidents_run.add_argument("--file", default=None, metavar="JSON",
+                               help="load the scenario from a JSON file")
+    incidents_run.add_argument("--out", default=None, metavar="DIR",
+                               help="write incidents.json / incidents.md / "
+                                    "telemetry.jsonl")
+    _chaos_knobs(incidents_run)
+
+    incidents_matrix = incidents_sub.add_parser(
+        "matrix", help="the detection regression set (matrix + control)"
+    )
+    incidents_matrix.add_argument("--scenarios", nargs="+", default=None,
+                                  help="override the default set "
+                                       "(matrix + control)")
+    incidents_matrix.add_argument("--bench-json", default=None,
+                                  metavar="PATH",
+                                  help="write the detection baseline JSON "
+                                       "(BENCH_incidents.json)")
+    incidents_matrix.add_argument("--baseline", default=None, metavar="PATH",
+                                  help="gate against a committed detection "
+                                       "baseline (exit 1 on drift)")
+    _chaos_knobs(incidents_matrix)
+
+    incidents_analyze = incidents_sub.add_parser(
+        "analyze", help="offline rule replay over a telemetry JSONL export"
+    )
+    incidents_analyze.add_argument("series", help="telemetry.jsonl path")
+    incidents_analyze.add_argument("--scenario", default=None,
+                                   help="label for the report header")
+    incidents_analyze.add_argument("--ruleset", default="default")
+    incidents_analyze.add_argument("--rules-file", default=None,
+                                   metavar="JSON",
+                                   help="load rules from a JSON file "
+                                        "instead of a named ruleset")
+    incidents_analyze.add_argument("--json", default=None, metavar="PATH",
+                                   help="write the incident report JSON")
+
+    incidents_rules = incidents_sub.add_parser(
+        "rules", help="show the alert-rule catalog"
+    )
+    incidents_rules.add_argument("--ruleset", default="default")
+    incidents_rules.add_argument("--rules-file", default=None, metavar="JSON")
+    incidents_rules.add_argument("--json", action="store_true",
+                                 help="dump the catalog as JSON")
 
     tenants = sub.add_parser(
         "tenants",
@@ -880,6 +1149,7 @@ COMMANDS = {
     "telemetry": _cmd_telemetry,
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,
+    "incidents": _cmd_incidents,
     "tenants": _cmd_tenants,
     "bench": _cmd_bench,
     "experiments": _cmd_experiments,

@@ -3,29 +3,49 @@
 Benchmarks and examples print series the paper shows as figures;
 these helpers render them as sparklines, horizontal bar charts, and
 multi-series line plots in plain text.
+
+All three renderers tolerate degenerate input — NaN / ±inf values,
+empty series, zero-span windows — because detector math feeds them
+windows where a rate divides by zero ops or a baseline never formed.
+Non-finite samples render as ``·`` (sparklines), a bar-less row
+(bar charts), or are dropped (line plots) instead of raising.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence, Tuple
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
+#: Placeholder glyph for a NaN/±inf sample in a sparkline.
+_SPARK_HOLE = "·"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [value for value in values if math.isfinite(value)]
+
 
 def sparkline(values: Sequence[float]) -> str:
-    """One-line sparkline of ``values``."""
+    """One-line sparkline of ``values`` (non-finite samples → ``·``)."""
     if not values:
         return ""
-    low = min(values)
-    high = max(values)
+    finite = _finite(values)
+    if not finite:
+        return _SPARK_HOLE * len(values)
+    low = min(finite)
+    high = max(finite)
     span = high - low
-    if span <= 0:
-        return _SPARK_LEVELS[0] * len(values)
     steps = len(_SPARK_LEVELS) - 1
-    return "".join(
-        _SPARK_LEVELS[int(round((value - low) / span * steps))]
-        for value in values
-    )
+    out = []
+    for value in values:
+        if not math.isfinite(value):
+            out.append(_SPARK_HOLE)
+        elif span <= 0:
+            out.append(_SPARK_LEVELS[0])
+        else:
+            out.append(_SPARK_LEVELS[int(round((value - low) / span * steps))])
+    return "".join(out)
 
 
 def bar_chart(
@@ -33,17 +53,26 @@ def bar_chart(
     width: int = 50,
     unit: str = "",
 ) -> str:
-    """Horizontal bar chart: one ``(label, value)`` per row."""
+    """Horizontal bar chart: one ``(label, value)`` per row.
+
+    Non-finite values get no bar and print as ``nan``/``inf``; the
+    scale peak is taken over the finite values only.
+    """
     if not rows:
         return ""
     label_width = max(len(label) for label, _ in rows)
-    peak = max(value for _, value in rows) or 1.0
+    peak = max(_finite([value for _, value in rows]) or [0.0]) or 1.0
     lines = []
     for label, value in rows:
-        bar = "█" * max(1 if value > 0 else 0, int(round(value / peak * width)))
-        lines.append(
-            f"{label.ljust(label_width)}  {bar} {value:,.0f}{unit}"
-        )
+        if math.isfinite(value):
+            bar = "█" * max(
+                1 if value > 0 else 0, int(round(value / peak * width))
+            )
+            shown = f"{value:,.0f}"
+        else:
+            bar = ""
+            shown = str(value)
+        lines.append(f"{label.ljust(label_width)}  {bar} {shown}{unit}")
     return "\n".join(lines)
 
 
@@ -55,9 +84,18 @@ def line_plot(
     """Plot several (x, y) series on one character grid.
 
     Each series gets a marker from its name's first character; axes
-    are labeled with min/max values.
+    are labeled with min/max values.  Points with a non-finite
+    coordinate are dropped; a plot with no finite points renders
+    empty.
     """
-    points = [(x, y) for values in series.values() for x, y in values]
+    clean = {
+        name: [
+            (x, y) for x, y in values
+            if math.isfinite(x) and math.isfinite(y)
+        ]
+        for name, values in series.items()
+    }
+    points = [(x, y) for values in clean.values() for x, y in values]
     if not points:
         return ""
     xs = [x for x, _ in points]
@@ -68,7 +106,7 @@ def line_plot(
     y_span = (y_high - y_low) or 1.0
 
     grid: List[List[str]] = [[" "] * width for _ in range(height)]
-    for name, values in series.items():
+    for name, values in clean.items():
         marker = name.strip()[0] if name.strip() else "?"
         for x, y in values:
             column = int((x - x_low) / x_span * (width - 1))

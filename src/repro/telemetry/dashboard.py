@@ -14,6 +14,7 @@ so the dashboard stays useful for registries with custom metrics.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics.ascii_plot import sparkline
@@ -45,12 +46,16 @@ def _spark_row(label: str, points: Sequence[Tuple[float, float]],
                width: int, fmt: str = "{:,.0f}") -> str:
     values = [v for _, v in points]
     spark = sparkline(_resample(values, width))
-    low = min(values) if values else 0.0
-    high = max(values) if values else 0.0
+    # min/max over finite samples only — one NaN in a ratio series
+    # must not poison the whole row's summary stats.
+    finite = [v for v in values if math.isfinite(v)]
+    low = min(finite) if finite else 0.0
+    high = max(finite) if finite else 0.0
     last = values[-1] if values else 0.0
+    last_text = fmt.format(last) if math.isfinite(last) else str(last)
     return (f"  {label:<26s} {spark}  "
             f"min {fmt.format(low)}  max {fmt.format(high)}  "
-            f"last {fmt.format(last)}")
+            f"last {last_text}")
 
 
 def _label_of(key: str, label: str) -> str:

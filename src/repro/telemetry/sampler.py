@@ -77,6 +77,58 @@ class TimeSeries:
                 return values[key]
         return 0.0
 
+    # -- windowed queries (the detectors' read API) --------------------
+    def window(self, t0_ms: float, t1_ms: float) -> "TimeSeries":
+        """Samples with ``t0_ms <= t <= t1_ms`` (both ends inclusive).
+
+        Inclusive on both sides so a window whose bounds land exactly
+        on sample instants keeps those samples — detector windows are
+        built from sample times, and a half-open window would silently
+        drop the very sample that triggered the query.  The returned
+        series shares the sample dicts (read-only by convention).
+        """
+        out = TimeSeries()
+        for t_ms, values in self.samples:
+            if t0_ms <= t_ms <= t1_ms:
+                out.samples.append((t_ms, values))
+        return out
+
+    def last_k(self, key: str, k: int, default: float = 0.0) -> List[Tuple[float, float]]:
+        """The trailing ``k`` (t, value) points of one series.
+
+        Fewer than ``k`` samples yields all of them; ``k <= 0`` yields
+        an empty list.
+        """
+        if k <= 0:
+            return []
+        return [
+            (t, values.get(key, default))
+            for t, values in self.samples[-k:]
+        ]
+
+    def rate_over_window(
+        self, key: str, t0_ms: float, t1_ms: float
+    ) -> float:
+        """Increase of a cumulative series across a window, per second.
+
+        The increase is measured between the first and last samples
+        inside ``[t0_ms, t1_ms]`` (inclusive) and divided by their
+        time span.  Empty and single-sample windows have no measurable
+        span and return 0.0; counter resets (decreases) clamp to 0.0.
+        """
+        points = [
+            (t, values.get(key, 0.0))
+            for t, values in self.samples
+            if t0_ms <= t <= t1_ms
+        ]
+        if len(points) < 2:
+            return 0.0
+        (first_t, first_v), (last_t, last_v) = points[0], points[-1]
+        span_ms = last_t - first_t
+        if span_ms <= 0:
+            return 0.0
+        return max(0.0, last_v - first_v) / (span_ms / 1_000.0)
+
 
 class Sampler:
     """The sampling sim-process feeding a :class:`TimeSeries`."""
@@ -93,6 +145,12 @@ class Sampler:
         self.registry = registry
         self.interval_ms = interval_ms
         self.timeseries = TimeSeries()
+        self.on_sample = None
+        """Optional callback ``fn(timeseries)`` invoked after each new
+        sample lands (the alert detectors' attachment point).  Mirrors
+        the stack-wide single ``is None`` check pattern: detection off
+        costs one attribute read per sample, and a pure-read callback
+        (no events, no RNG) cannot perturb the simulation."""
         self._stopped = False
         self._proc = None
 
@@ -127,6 +185,8 @@ class Sampler:
         if not force and samples and samples[-1][0] == now:
             return
         self.timeseries.append(now, self.registry.collect())
+        if self.on_sample is not None:
+            self.on_sample(self.timeseries)
 
     def _run(self):
         while not self._stopped:

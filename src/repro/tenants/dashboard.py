@@ -9,6 +9,7 @@ Read-only over the sampled time-series, like the fleet dashboard in
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.metrics.ascii_plot import sparkline
@@ -32,12 +33,16 @@ def _row(label: str, points: Sequence[Tuple[float, float]], width: int,
          fmt: str = "{:,.0f}") -> str:
     values = [v for _, v in points]
     spark = sparkline(_resample(values, width))
-    low = min(values) if values else 0.0
-    high = max(values) if values else 0.0
+    # Summary stats over finite samples only: an empty p99 window
+    # yields NaN, which must not poison min/max.
+    finite = [v for v in values if math.isfinite(v)]
+    low = min(finite) if finite else 0.0
+    high = max(finite) if finite else 0.0
     last = values[-1] if values else 0.0
+    last_text = fmt.format(last) if math.isfinite(last) else str(last)
     return (f"    {label:<14s} {spark}  "
             f"min {fmt.format(low)}  max {fmt.format(high)}  "
-            f"last {fmt.format(last)}")
+            f"last {last_text}")
 
 
 def render_tenant_dashboard(

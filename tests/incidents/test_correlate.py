@@ -1,0 +1,132 @@
+"""Root-cause correlator: windows, scoring terms, ranking contract."""
+
+import pytest
+
+from repro.incidents import Evidence, build_report, rank_suspects, stage_shift
+from repro.incidents.detect import Alert
+from repro.telemetry import TimeSeries
+
+pytestmark = pytest.mark.incident
+
+
+def _fault(t, kind, action):
+    return {"time_ms": t, "kind": kind, "action": action, "detail": ""}
+
+
+class _IncidentStub:
+    def __init__(self, started_ms, ended_ms, rules=()):
+        self.started_ms = started_ms
+        self.ended_ms = ended_ms
+        self.rules = list(rules)
+
+
+def test_fault_windows_pair_edges_and_leave_open_ends():
+    evidence = Evidence(fault_log=[
+        _fault(100.0, "tcp_sever", "activate"),
+        _fault(400.0, "tcp_sever", "deactivate"),
+        _fault(900.0, "ack_loss", "activate"),   # never deactivates
+    ])
+    windows = evidence.fault_windows
+    assert ("tcp_sever", 100.0, 400.0) in windows
+    assert ("ack_loss", 900.0, float("inf")) in windows
+
+
+def test_rank_prefers_temporally_matching_fault():
+    evidence = Evidence(fault_log=[
+        _fault(1_000.0, "tcp_sever", "activate"),
+        _fault(2_000.0, "tcp_sever", "deactivate"),
+        _fault(50_000.0, "ack_loss", "activate"),
+        _fault(51_000.0, "ack_loss", "deactivate"),
+    ])
+    incident = _IncidentStub(1_500.0, 2_500.0, rules=["retry-spike"])
+    suspects = rank_suspects(incident, evidence)
+    assert suspects[0].kind == "fault:tcp_sever"
+    tcp = suspects[0]
+    ack = next(s for s in suspects if s.kind == "fault:ack_loss")
+    assert tcp.score > ack.score
+    # The distant fault keeps its log prior but gets no time credit.
+    assert ack.score == pytest.approx(0.5)
+
+
+def test_alert_signature_breaks_time_ties():
+    # Both faults overlap the incident; only tcp_sever's signature
+    # contains the firing rules.
+    evidence = Evidence(fault_log=[
+        _fault(1_000.0, "tcp_sever", "activate"),
+        _fault(2_000.0, "tcp_sever", "deactivate"),
+        _fault(1_000.0, "disk_slow", "activate"),
+        _fault(2_000.0, "disk_slow", "deactivate"),
+    ])
+    incident = _IncidentStub(
+        1_200.0, 2_200.0, rules=["connection-churn", "reconnect-spike"],
+    )
+    suspects = rank_suspects(incident, evidence)
+    assert suspects[0].kind == "fault:tcp_sever"
+    assert any("alert signature" in e for e in suspects[0].evidence)
+
+
+def test_fault_suspect_outranks_circumstantial_evidence():
+    # Even with a screaming autoscaler gap in the window, the injected
+    # fault's 0.5 prior keeps it on top — the detection-gate contract.
+    ts = TimeSeries()
+    ts.append(1_000.0, {"fleet_desired_namenodes": 8.0,
+                        "fleet_actual_namenodes": 2.0})
+    ts.append(1_500.0, {"fleet_desired_namenodes": 8.0,
+                        "fleet_actual_namenodes": 2.0})
+    evidence = Evidence(
+        fault_log=[_fault(900.0, "capacity_crunch", "activate"),
+                   _fault(2_000.0, "capacity_crunch", "deactivate")],
+        timeseries=ts,
+    )
+    incident = _IncidentStub(1_000.0, 1_800.0, rules=["fleet-gap"])
+    suspects = rank_suspects(incident, evidence)
+    assert suspects[0].kind == "fault:capacity_crunch"
+    gap = next(s for s in suspects if s.kind == "autoscaler_gap")
+    assert gap.score <= 0.45
+    assert not gap.is_fault
+    assert suspects[0].fault_kind == "capacity_crunch"
+
+
+def test_no_evidence_yields_no_suspects():
+    assert rank_suspects(_IncidentStub(0.0, 100.0), Evidence()) == []
+
+
+def test_stage_shift_detects_critical_path_move():
+    class Op:
+        def __init__(self, start, end, stages):
+            self.start_ms = start
+            self.end_ms = end
+            self.stages = stages
+
+    class Profile:
+        ops = [
+            Op(0.0, 50.0, {"namenode": 8.0, "store": 2.0}),
+            Op(60.0, 110.0, {"namenode": 8.0, "store": 2.0}),
+            # Inside the window the store stage dominates.
+            Op(1_000.0, 1_050.0, {"namenode": 2.0, "store": 8.0}),
+        ]
+
+    shift = stage_shift(Profile(), 900.0, 1_100.0)
+    assert shift["store"] > 0.4
+    assert shift["namenode"] < 0.0
+
+
+def test_stage_shift_empty_populations():
+    class Profile:
+        ops = []
+
+    assert stage_shift(Profile(), 0.0, 100.0) == {}
+
+
+def test_build_report_integrates_ranking():
+    alerts = [Alert(rule="ack-latency-anomaly", severity="page",
+                    condition="", started_ms=1_100.0, ended_ms=1_400.0)]
+    evidence = Evidence(fault_log=[
+        _fault(1_000.0, "ack_loss", "activate"),
+        _fault(1_600.0, "ack_loss", "deactivate"),
+    ])
+    report = build_report(alerts, evidence, scenario="s",
+                          first_fault_at_ms=1_000.0, end_ms=2_000.0)
+    top = report.incidents[0].top_suspect
+    assert top.fault_kind == "ack_loss"
+    assert top.score > 0.75  # prior + full time match + signature hit

@@ -1,0 +1,89 @@
+"""Exporter round-trips for alert-rule names with hostile characters.
+
+Rule names land in ``alerts_firing{rule="..."}`` series keys and then
+in every exporter; the corpus below mirrors the separator/quoting
+cases of tests/telemetry/test_series_keys.py so a rule named after an
+expression (``errors=high,window=1s``) survives Prometheus text
+escaping and the JSONL round-trip unmangled.
+"""
+
+import pytest
+
+from repro.incidents import AlertEngine, Signal, ThresholdRule
+from repro.telemetry import (
+    MetricsRegistry,
+    TimeSeries,
+    parse_prometheus_text,
+    read_jsonl,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.registry import parse_series_key
+
+pytestmark = pytest.mark.incident
+
+#: Rule names exercising every escaping hazard: label separators,
+#: key/value separators, quotes, backslashes.
+HOSTILE_NAMES = [
+    "errors=high,window=1s",
+    'quoted "page" rule',
+    "back\\slash",
+    "comma,separated",
+]
+
+
+def _fire(name):
+    """An engine whose one rule (named ``name``) opens immediately."""
+    registry = MetricsRegistry()
+    engine = AlertEngine(
+        [ThresholdRule(name=name, signal=Signal("depth", mode="gauge"),
+                       threshold=0.5, op=">")],
+        registry=registry,
+    )
+    ts = TimeSeries()
+    ts.append(0.0, {"depth": 2.0})
+    engine.observe(ts)
+    return registry
+
+
+@pytest.mark.parametrize("name", HOSTILE_NAMES)
+def test_alert_rule_name_survives_prometheus_roundtrip(tmp_path, name):
+    registry = _fire(name)
+    path = tmp_path / "alerts.prom"
+    write_prometheus(registry, str(path))
+    samples = parse_prometheus_text(path.read_text())
+    firing = {
+        key: value for key, value in samples.items()
+        if parse_series_key(key)[0] == "alerts_firing"
+    }
+    assert len(firing) == 1
+    key, value = next(iter(firing.items()))
+    assert value == 1.0
+    assert parse_series_key(key)[1] == {"rule": name}
+
+
+@pytest.mark.parametrize("name", HOSTILE_NAMES)
+def test_alert_series_survive_jsonl_roundtrip(tmp_path, name):
+    registry = _fire(name)
+    ts = TimeSeries()
+    ts.append(0.0, registry.collect())
+    path = str(tmp_path / "telemetry.jsonl")
+    write_jsonl(ts, path)
+    loaded = read_jsonl(path)
+    firing = loaded.series_matching("alerts_firing")
+    assert len(firing) == 1
+    key = next(iter(firing))
+    assert parse_series_key(key)[1] == {"rule": name}
+    assert firing[key] == [(0.0, 1.0)]
+
+
+def test_fired_counter_carries_rule_and_severity_labels():
+    registry = _fire("errors=high,window=1s")
+    collected = registry.collect()
+    fired = [
+        key for key in collected
+        if parse_series_key(key)[0] == "alerts_fired_total"
+    ]
+    assert len(fired) == 1
+    labels = parse_series_key(fired[0])[1]
+    assert labels == {"rule": "errors=high,window=1s", "severity": "page"}

@@ -64,3 +64,65 @@ def test_line_plot_single_point_series():
     plot = line_plot({"s": [(5.0, 5.0)]}, width=12, height=4)
     assert "s" in plot
     assert "s = s" in plot
+
+
+# -- degenerate input: NaN / ±inf ------------------------------------
+#
+# Detector math feeds these helpers windows where a rate divides by
+# zero ops or a baseline never formed; each renderer must degrade,
+# not raise.
+
+NAN = float("nan")
+INF = float("inf")
+
+
+def test_sparkline_nan_renders_hole():
+    line = sparkline([0.0, NAN, 2.0])
+    assert len(line) == 3
+    assert line[1] == "·"
+    assert line[0] == "▁" and line[2] == "█"
+
+
+def test_sparkline_inf_renders_hole_without_skewing_scale():
+    line = sparkline([0.0, INF, 1.0, -INF])
+    assert line[1] == "·" and line[3] == "·"
+    # Scale comes from the finite samples only: 0 → low, 1 → high.
+    assert line[0] == "▁" and line[2] == "█"
+
+
+def test_sparkline_all_nonfinite():
+    assert sparkline([NAN, INF, -INF]) == "···"
+
+
+def test_bar_chart_nan_row_has_no_bar():
+    chart = bar_chart([("ok", 10.0), ("bad", NAN)], width=10)
+    lines = chart.split("\n")
+    assert lines[0].count("█") == 10
+    assert "█" not in lines[1]
+    assert "nan" in lines[1]
+
+
+def test_bar_chart_inf_does_not_flatten_finite_bars():
+    chart = bar_chart([("ok", 10.0), ("hot", INF)], width=10)
+    lines = chart.split("\n")
+    # Peak is the finite 10.0, so "ok" still fills the width.
+    assert lines[0].count("█") == 10
+    assert "inf" in lines[1]
+
+
+def test_bar_chart_all_nonfinite():
+    chart = bar_chart([("a", NAN), ("b", -INF)], width=10)
+    assert "█" not in chart
+    assert len(chart.split("\n")) == 2
+
+
+def test_line_plot_drops_nonfinite_points():
+    plot = line_plot({
+        "s": [(0.0, 0.0), (5.0, NAN), (INF, 3.0), (10.0, 100.0)],
+    }, width=20, height=6)
+    assert "s" in plot
+    assert "100" in plot
+
+
+def test_line_plot_all_nonfinite_is_empty():
+    assert line_plot({"s": [(NAN, 1.0), (2.0, INF)]}) == ""

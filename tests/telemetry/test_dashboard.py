@@ -66,3 +66,21 @@ def test_interval_hit_rate_zero_lookups_is_zero():
     ts.append(0.0, {"cache_hits_total": 0.0, "cache_misses_total": 0.0})
     rates = _interval_hit_rate(ts, "cache_hits_total", "cache_misses_total")
     assert rates == [(0.0, 0.0)]
+
+
+def test_spark_row_tolerates_nonfinite_samples():
+    # A NaN/inf sample (empty-window ratio, divide-by-zero rate) must
+    # not poison the row's min/max or crash the formatter.
+    from repro.telemetry.dashboard import _spark_row
+    nan, inf = float("nan"), float("inf")
+    row = _spark_row("ratio", [(0.0, 1.0), (1.0, nan), (2.0, 3.0)], width=8)
+    assert "·" in row
+    assert "min 1" in row and "max 3" in row
+    row = _spark_row("ratio", [(0.0, inf)], width=8)
+    assert "min 0" in row and "last inf" in row
+
+
+def test_spark_row_empty_points():
+    from repro.telemetry.dashboard import _spark_row
+    row = _spark_row("empty", [], width=8)
+    assert "min 0" in row and "max 0" in row and "last 0" in row

@@ -97,3 +97,61 @@ def test_sampler_rejects_bad_interval():
     env = Environment()
     with pytest.raises(ValueError):
         Sampler(env, MetricsRegistry(env), interval_ms=0.0)
+
+
+# -- windowed-query helpers ------------------------------------------
+
+
+def _ts(points):
+    ts = TimeSeries()
+    for t, values in points:
+        ts.samples.append((t, values))
+    return ts
+
+
+def test_window_inclusive_on_both_bounds():
+    ts = _ts([(0.0, {"a": 1.0}), (100.0, {"a": 2.0}), (200.0, {"a": 3.0})])
+    win = ts.window(100.0, 200.0)
+    assert [t for t, _ in win.samples] == [100.0, 200.0]
+
+
+def test_window_empty_and_inverted():
+    ts = _ts([(0.0, {"a": 1.0}), (100.0, {"a": 2.0})])
+    assert ts.window(300.0, 400.0).samples == []
+    assert ts.window(100.0, 0.0).samples == []
+    assert TimeSeries().window(0.0, 1e9).samples == []
+
+
+def test_window_single_sample_on_bound():
+    ts = _ts([(50.0, {"a": 1.0})])
+    assert len(ts.window(50.0, 50.0).samples) == 1
+
+
+def test_last_k_trailing_points_and_default():
+    ts = _ts([(0.0, {"a": 1.0}), (1.0, {}), (2.0, {"a": 3.0})])
+    assert ts.last_k("a", 2) == [(1.0, 0.0), (2.0, 3.0)]
+    assert ts.last_k("a", 2, default=9.0)[0] == (1.0, 9.0)
+    # k beyond the series length yields everything; k <= 0 nothing.
+    assert len(ts.last_k("a", 100)) == 3
+    assert ts.last_k("a", 0) == []
+    assert ts.last_k("a", -3) == []
+
+
+def test_rate_over_window_basic():
+    ts = _ts([(0.0, {"c": 0.0}), (500.0, {"c": 5.0}), (1000.0, {"c": 20.0})])
+    # 20 increase over 1s.
+    assert ts.rate_over_window("c", 0.0, 1000.0) == pytest.approx(20.0)
+    # Sub-window: 15 increase over 0.5s.
+    assert ts.rate_over_window("c", 500.0, 1000.0) == pytest.approx(30.0)
+
+
+def test_rate_over_window_degenerate():
+    ts = _ts([(0.0, {"c": 1.0}), (1000.0, {"c": 2.0})])
+    assert ts.rate_over_window("c", 0.0, 0.0) == 0.0      # single sample
+    assert ts.rate_over_window("c", 5000.0, 9000.0) == 0.0  # empty window
+    assert TimeSeries().rate_over_window("c", 0.0, 1e9) == 0.0
+
+
+def test_rate_over_window_clamps_counter_reset():
+    ts = _ts([(0.0, {"c": 100.0}), (1000.0, {"c": 3.0})])
+    assert ts.rate_over_window("c", 0.0, 1000.0) == 0.0
