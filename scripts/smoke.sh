@@ -160,6 +160,27 @@ print(f"incidents smoke ok: {len(report.incidents)} incident(s), "
       f"MTTD {report.mttd_ms:.0f} ms, top suspect {top.kind}")
 EOF
 
+# Resilience smoke: the metastable-overload family end-to-end — the
+# brownout must pass gate 7 (goodput floor, zero ops committed past
+# deadline, legal breaker transitions), the -noshed twin must fail it
+# for the honest reason, and the verdicts must match the committed
+# baseline (ordering matters: the drift gate compares exact counters,
+# which are only reproducible over the full default matrix).
+python -m repro resilience run metastable-brownout > "$out/resilience.txt"
+grep -q "PASS resilience:" "$out/resilience.txt"
+grep -q "0 deadline violations" "$out/resilience.txt"
+python -m repro incidents run metastable-brownout --window 8000 \
+    --drain 6000 > "$out/resilience_incidents.txt"
+grep -q "alert breaker-open \[page\]" "$out/resilience_incidents.txt"
+grep -q "PASS detection: incident #0 blamed fault:load_spike" \
+    "$out/resilience_incidents.txt"
+python -m repro resilience matrix --baseline BENCH_resilience.json \
+    > "$out/resilience_matrix.txt"
+grep -q "FAIL (expected)" "$out/resilience_matrix.txt"
+grep -q "resilience baseline: OK" "$out/resilience_matrix.txt"
+grep -q "resilience matrix: PASS" "$out/resilience_matrix.txt"
+echo "resilience smoke ok: $(grep 'PASS resilience:' "$out/resilience.txt" | head -1 | sed 's/^ *//')"
+
 # Kernel smoke: the quick events/sec gate against the committed
 # baseline — fails on a >25% regression at the quick scale point.
 # (The baseline is best-of-repeats; host noise alone is ~±10%, so the

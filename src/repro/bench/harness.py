@@ -109,6 +109,7 @@ def _lambda_config(
     client_overrides: dict,
     namenode_overrides: dict,
     datanode_overrides: dict,
+    resilience=None,
 ) -> LambdaFSConfig:
     base = LambdaFSConfig(num_deployments=deployments, seed=seed)
     faas = replace(base.faas, cluster_vcpus=float(vcpus), **faas_overrides)
@@ -116,7 +117,8 @@ def _lambda_config(
     namenode = replace(base.namenode, **namenode_overrides)
     datanodes = replace(base.datanodes, **datanode_overrides)
     config = replace(
-        base, faas=faas, client=client, namenode=namenode, datanodes=datanodes
+        base, faas=faas, client=client, namenode=namenode,
+        datanodes=datanodes, resilience=resilience,
     )
     if ndb is not None:
         config = replace(config, ndb=ndb)
@@ -139,6 +141,7 @@ def build_lambdafs(
     telemetry: bool = False,
     telemetry_interval_ms: float = 500.0,
     profile: bool = False,
+    resilience=None,
 ) -> SystemHandle:
     tracer = _maybe_trace(env, trace or profile)
     profiler = _maybe_profile(tracer, profile)
@@ -146,7 +149,7 @@ def build_lambdafs(
     config = _lambda_config(
         vcpus, deployments, seed, ndb,
         faas_overrides or {}, client_overrides or {}, namenode_overrides or {},
-        datanode_overrides or {},
+        datanode_overrides or {}, resilience=resilience,
     )
     # An admin sizes the deployment count to the platform's capacity
     # (n is configurable, §2 Terminology): more deployments than the

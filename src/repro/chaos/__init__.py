@@ -34,9 +34,11 @@ from repro.chaos.runner import (
     RECOVERABLE_ERRORS,
     ChaosRunConfig,
     ChaosRunResult,
+    resilience_run_config,
     run_matrix,
     run_scenario,
     scenario_needs_datanodes,
+    scenario_needs_resilience,
     scenario_needs_tenants,
 )
 from repro.chaos.scenario import (
@@ -49,6 +51,7 @@ from repro.chaos.scenarios import (
     DATANODE_MATRIX,
     EXPECTED_FAIL,
     MATRIX,
+    RESILIENCE_MATRIX,
     TENANT_MATRIX,
     builtin_scenarios,
     get_scenario,
@@ -70,6 +73,7 @@ __all__ = [
     "MATRIX",
     "NameNodeKiller",
     "RECOVERABLE_ERRORS",
+    "RESILIENCE_MATRIX",
     "RecoverySLO",
     "Scenario",
     "TENANT_MATRIX",
@@ -82,10 +86,12 @@ __all__ = [
     "load_scenario",
     "make_fault",
     "pick_victim",
+    "resilience_run_config",
     "run_matrix",
     "run_scenario",
     "save_scenario",
     "scenario_needs_datanodes",
+    "scenario_needs_resilience",
     "scenario_needs_tenants",
     "validate_scenario",
 ]

@@ -78,6 +78,9 @@ class ChaosEngine:
         self.fleet = fleet
         self.seed = seed
         self.rng = derive_rng(seed, "chaos")
+        #: The system's :class:`~repro.resilience.ResilienceManager`
+        #: (``disable_shedding``'s latch target); None when detached.
+        self.resilience: Any = None
         #: The tenant QoS governor, wired by the runner in tenant mode
         #: (``tenant_flood``'s ``disable_isolation`` kills it).
         self.governor: Any = None
@@ -288,6 +291,21 @@ class ChaosEngine:
                 out = think if out is None else min(out, think)
         return out
 
+    def think_factor(self) -> float:
+        """Multiplier for closed-loop client think times.
+
+        Pure computation (no RNG, no logging), consulted by the chaos
+        runner's client loops before every sleep.  Factors of
+        overlapping ``load_spike`` faults stack multiplicatively;
+        outside every window the result is exactly 1.0, so the
+        multiply is a bit-exact identity and legacy scenario hashes
+        are untouched.
+        """
+        factor = 1.0
+        for fault in self._active.get("load_spike", ()):
+            factor *= fault.think_factor
+        return factor
+
     def ack_should_drop(self, deployment: str, member_id: str) -> bool:
         """True when this member's INV ACK is lost."""
         for fault in self._active.get("ack_loss", ()):
@@ -333,5 +351,7 @@ def install_chaos(
         env, platform=platform, coordinator=coordinator, store=store, seed=seed,
         fleet=fleet,
     )
+    if system is not None:
+        engine.resilience = getattr(system, "resilience", None)
     env.chaos = engine
     return engine

@@ -808,6 +808,57 @@ class TenantFloodFault(Fault):
                         tenant=self.tenant)
 
 
+# -- resilience ---------------------------------------------------------
+
+class LoadSpikeFault(Fault):
+    """Every closed-loop client thinks ``think_factor``× as long.
+
+    A pure query fault: the chaos runner's client loops multiply their
+    sampled think time by :meth:`ChaosEngine.think_factor` before each
+    sleep, so a factor below 1.0 is a demand surge (the whole client
+    population speeds up at once) and the fault itself spawns no
+    processes and draws no randomness.  Combined with a store slowdown
+    this is the recipe for metastable overload: offered load rises
+    exactly as capacity falls, and retries amplify the difference.
+    """
+
+    kind = "load_spike"
+    requires_duration = True
+    allowed_params = ("think_factor",)
+
+    def validate(self) -> None:
+        if float(self.params.get("think_factor", 0.25)) <= 0:
+            raise ValueError(f"{self.kind}: think_factor must be > 0")
+
+    @property
+    def think_factor(self) -> float:
+        return float(self.params.get("think_factor", 0.25))
+
+
+class DisableSheddingFault(Fault):
+    """Switch the resilience layer off — **permanently**.
+
+    Like ``datanode_kill``'s ``disable_repair`` and ``tenant_flood``'s
+    ``disable_isolation``, this is a one-way latch, not a window: a
+    dead resilience control plane (deadlines unstamped, breakers
+    never rejecting, shedders never dropping).  The
+    ``metastable-brownout-noshed`` expected-FAIL twin uses it to show
+    the unprotected system staying collapsed after the fault clears.
+    """
+
+    kind = "disable_shedding"
+    allowed_params = ()
+
+    def on_activate(self) -> None:
+        engine = self.engine
+        resilience = getattr(engine, "resilience", None)
+        if resilience is None:
+            engine._log(self.kind, "inject", note="no-resilience")
+            return
+        resilience.enabled = False
+        engine._log(self.kind, "inject", note="shedding-disabled")
+
+
 # -- registry -----------------------------------------------------------
 
 FAULT_TYPES: Dict[str, Type[Fault]] = {
@@ -830,6 +881,8 @@ FAULT_TYPES: Dict[str, Type[Fault]] = {
         DataNodeKillFault,
         DiskSlowFault,
         TenantFloodFault,
+        LoadSpikeFault,
+        DisableSheddingFault,
     )
 }
 

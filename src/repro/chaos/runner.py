@@ -30,6 +30,7 @@ from repro.core import OpType
 from repro.core.client import RequestTimeout
 from repro.faas.platform import InstanceTerminated
 from repro.namespace.treegen import TreeSpec, generate_tree
+from repro.resilience import ResilienceConfig
 from repro.rpc.connections import ConnectionDropped
 from repro.sim import AllOf, AnyOf, Environment, RngStreams
 from repro.tenants.context import TenantGovernor, TenantSpec, chaos_tenants
@@ -48,6 +49,9 @@ DATANODE_FAULT_KINDS = ("datanode_kill", "disk_slow")
 #: Fault kinds that only do anything against a multi-tenant workload.
 TENANT_FAULT_KINDS = ("tenant_flood",)
 
+#: Fault kinds that only make sense with the resilience layer attached.
+RESILIENCE_FAULT_KINDS = ("load_spike", "disable_shedding")
+
 
 def scenario_needs_datanodes(scenario: Scenario) -> bool:
     """True when ``scenario`` injects data-plane faults."""
@@ -60,6 +64,13 @@ def scenario_needs_tenants(scenario: Scenario) -> bool:
     """True when ``scenario`` injects tenant-scoped faults."""
     return any(
         spec.kind in TENANT_FAULT_KINDS for spec in scenario.faults
+    )
+
+
+def scenario_needs_resilience(scenario: Scenario) -> bool:
+    """True when ``scenario`` injects overload/resilience faults."""
+    return any(
+        spec.kind in RESILIENCE_FAULT_KINDS for spec in scenario.faults
     )
 
 #: Typed errors a chaos client absorbs and retries past.
@@ -115,6 +126,11 @@ class ChaosRunConfig:
     """QoS governor budget per tenant, as a multiple of its nominal
     demand (see :meth:`TenantGovernor.for_tenants`)."""
     governor_burst_ms: float = 250.0
+    resilience: Optional[ResilienceConfig] = None
+    """Resilience layer.  None = auto: a default
+    :class:`~repro.resilience.ResilienceConfig` when the scenario
+    injects overload faults, detached (the legacy byte-identical
+    configuration) otherwise.  An explicit config always attaches."""
     detect: bool = False
     """Attach the :class:`repro.incidents.AlertEngine` to the sampler
     (the single-``is None`` ``on_sample`` hook), evaluate alert rules
@@ -124,6 +140,30 @@ class ChaosRunConfig:
     verifier gains the detection gate (gate 6)."""
     ruleset: str = "default"
     """Named rule catalog from :data:`repro.incidents.RULESETS`."""
+
+
+def resilience_run_config(seed: int = 0, **overrides) -> ChaosRunConfig:
+    """The canonical workload for the overload/resilience scenarios.
+
+    The metastable family needs a *convoy-prone* workload — many
+    writers colliding on a small hot file set — which the default
+    chaos shape (24 mostly-reading clients over a ~500-file tree)
+    never produces: its brownouts recover the instant the fault
+    clears.  This shape is shared by ``repro resilience``, the smoke
+    stage, and the regression tests so gate-7 verdicts stay
+    comparable across all three.
+    """
+    defaults = dict(
+        seed=seed,
+        clients=48,
+        write_fraction=0.5,
+        think_ms=40.0,
+        tree=TreeSpec(depth=1, dirs_per_dir=2, files_per_dir=8),
+        drain_ms=8_000.0,
+        slo=RecoverySLO(window_ms=8_000.0),
+    )
+    defaults.update(overrides)
+    return ChaosRunConfig(**defaults)
 
 
 @dataclass
@@ -149,6 +189,9 @@ class ChaosRunResult:
     incidents: Optional[object] = None
     """The :class:`repro.incidents.IncidentReport` of a ``detect``
     run; None when detection was off."""
+    resilience: Optional[Dict[str, object]] = None
+    """:meth:`ResilienceManager.snapshot` of a resilience run; None
+    when the layer was detached."""
 
     @property
     def passed(self) -> bool:
@@ -169,6 +212,11 @@ class ChaosRunResult:
             line += (
                 f" incidents={len(self.incidents.incidents)}"
                 + (f" mttd={mttd:.0f}ms" if mttd is not None else "")
+            )
+        if self.resilience is not None:
+            line += (
+                f" sheds={self.resilience['sheds']}"
+                f" breaker_opens={self.resilience['breaker_opens']}"
             )
         return line
 
@@ -202,9 +250,14 @@ def _client_loop(
             name = type(exc).__name__
             errors[name] = errors.get(name, 0) + 1
         if config.think_ms > 0:
-            yield env.timeout(
-                rng.uniform(0.5 * config.think_ms, 1.5 * config.think_ms)
-            )
+            think = rng.uniform(0.5 * config.think_ms, 1.5 * config.think_ms)
+            # Demand-surge query; outside a load_spike window this is
+            # exactly 1.0, so the multiply is a bit-exact identity and
+            # legacy scenario hashes are untouched.
+            chaos = env.chaos
+            if chaos is not None:
+                think *= chaos.think_factor()
+            yield env.timeout(think)
 
 
 def run_scenario(
@@ -231,6 +284,9 @@ def run_scenario(
     datanodes = config.datanodes
     if datanodes is None:
         datanodes = 9 if scenario_needs_datanodes(scenario) else 0
+    resilience_config = config.resilience
+    if resilience_config is None and scenario_needs_resilience(scenario):
+        resilience_config = ResilienceConfig()
     fleet_config = None
     build_extra = {}
     if datanodes > 0:
@@ -262,6 +318,7 @@ def run_scenario(
         trace=True,
         telemetry=True,
         telemetry_interval_ms=config.telemetry_interval_ms,
+        resilience=resilience_config,
         **build_extra,
     )
     fs = handle.system
@@ -387,6 +444,7 @@ def run_scenario(
         fleet=fleet if config.datanode_start else None,
         tenants=tenant_specs if workload is not None else None,
         incidents=incident_report,
+        resilience=fs.resilience,
     )
     report = verifier.verify()
     return ChaosRunResult(
@@ -406,6 +464,9 @@ def run_scenario(
             if handle.telemetry is not None else None
         ),
         incidents=incident_report,
+        resilience=(
+            fs.resilience.snapshot() if fs.resilience is not None else None
+        ),
     )
 
 

@@ -44,11 +44,20 @@ TENANT_MATRIX: Tuple[str, ...] = (
     "noisy-neighbor-runaway",
 )
 
+#: The overload/resilience matrix (needs the resilience layer; ``repro
+#: resilience matrix``).
+RESILIENCE_MATRIX: Tuple[str, ...] = (
+    "overload-storm",
+    "retry-storm-amplification",
+    "metastable-brownout",
+)
+
 #: Scenarios whose verifier verdict is expected to be FAIL.
 EXPECTED_FAIL: Tuple[str, ...] = (
     "ack-loss-noretry",
     "datanode-kill-norepair",
     "noisy-neighbor-runaway",
+    "metastable-brownout-noshed",
 )
 
 
@@ -205,6 +214,58 @@ def builtin_scenarios() -> Dict[str, Scenario]:
                 FaultSpec("tenant_flood", at_ms=2_000.0, duration_ms=3_500.0,
                           params={"tenant": "hog", "think_ms": 0.0,
                                   "disable_isolation": True}),
+            ),
+        ),
+        Scenario(
+            name="overload-storm",
+            description="demand surge: every client thinks 50x faster for "
+                        "3 s; deadlines, breakers, and the shedder must "
+                        "keep goodput honest through the storm",
+            faults=(
+                FaultSpec("load_spike", at_ms=1_500.0, duration_ms=3_000.0,
+                          params={"think_factor": 0.02}),
+            ),
+        ),
+        Scenario(
+            name="retry-storm-amplification",
+            description="surge meets brownout: a 50x demand spike while "
+                        "the store runs 12x slower — stragglers breed "
+                        "resubmits; retry budgets, breakers, and deadline "
+                        "caps must damp the amplification",
+            faults=(
+                FaultSpec("load_spike", at_ms=1_500.0, duration_ms=3_000.0,
+                          params={"think_factor": 0.02}),
+                FaultSpec("store_slowdown", at_ms=1_700.0, duration_ms=2_500.0,
+                          params={"factor": 12.0}),
+            ),
+        ),
+        Scenario(
+            name="metastable-brownout",
+            description="metastable overload: an 800x store brownout under "
+                        "a 100x demand spike drives write convoys on the "
+                        "hot file set — work for clients that already gave "
+                        "up must be refused, not executed (gate 7: goodput "
+                        "recovery, zero commits past deadline)",
+            faults=(
+                FaultSpec("store_slowdown", at_ms=1_500.0, duration_ms=3_500.0,
+                          params={"factor": 800.0}),
+                FaultSpec("load_spike", at_ms=1_600.0, duration_ms=3_300.0,
+                          params={"think_factor": 0.01}),
+            ),
+        ),
+        Scenario(
+            name="metastable-brownout-noshed",
+            description="broken resilience path: the same brownout with "
+                        "enforcement latched off before the storm — "
+                        "convoyed writes grind past their stamped "
+                        "deadlines and commit anyway; the verifier MUST "
+                        "fail this run",
+            faults=(
+                FaultSpec("disable_shedding", at_ms=1_000.0),
+                FaultSpec("store_slowdown", at_ms=1_500.0, duration_ms=3_500.0,
+                          params={"factor": 800.0}),
+                FaultSpec("load_spike", at_ms=1_600.0, duration_ms=3_300.0,
+                          params={"think_factor": 0.01}),
             ),
         ),
         Scenario(

@@ -57,6 +57,11 @@ class RecoverySLO:
     open within this long of the first fault activating (MTTD bound).
     Generous relative to the sampling interval + rule sustain windows,
     tight relative to the fault windows themselves."""
+    goodput_floor: float = 0.8
+    """Gate 7 (resilience): mean goodput over the second half of the
+    recovery window must be at least this fraction of the pre-fault
+    baseline — the metastable-collapse detector (a system stuck in the
+    bad equilibrium stays near zero long after the fault clears)."""
 
 
 @dataclass
@@ -92,6 +97,14 @@ class VerifierReport:
     """First-fault-activation → matching incident opening (MTTD)."""
     top_suspect: Optional[str] = None
     """The matching incident's top-ranked suspect kind."""
+    baseline_goodput: Optional[float] = None
+    """Gate 7: pre-fault mean successful ops per telemetry interval."""
+    recovered_goodput: Optional[float] = None
+    """Gate 7: mean goodput over the second half of the window."""
+    deadline_violations: Optional[int] = None
+    """Gate 7: ops that executed past their deadline (must be 0)."""
+    breaker_transitions: Optional[int] = None
+    """Gate 7: breaker FSM transitions audited (None = gate not run)."""
 
     def _ok(self, message: str) -> None:
         self.checks.append(f"PASS {message}")
@@ -149,6 +162,7 @@ class ChaosVerifier:
         fleet: Any = None,
         tenants: Any = None,
         incidents: Any = None,
+        resilience: Any = None,
     ) -> None:
         self.tracer = tracer
         self.timeseries = timeseries
@@ -162,6 +176,9 @@ class ChaosVerifier:
         """An :class:`repro.incidents.IncidentReport` from a
         ``--detect`` run; None keeps gate 6 out of the verdict
         entirely (detector-off runs are judged as before)."""
+        self.resilience = resilience
+        """The run's :class:`~repro.resilience.ResilienceManager`;
+        None keeps gate 7 out of the verdict entirely."""
 
     def verify(self) -> VerifierReport:
         report = VerifierReport()
@@ -171,6 +188,7 @@ class ChaosVerifier:
         self._check_replication(report)
         self._check_fairness(report)
         self._check_detection(report)
+        self._check_resilience(report)
         return report
 
     # -- gate 1: invariants --------------------------------------------
@@ -570,4 +588,124 @@ class ChaosVerifier:
             f"detection: incident #{matched.index} blamed "
             f"{matched.top_suspect.kind} (MTTD {mttd}, "
             f"score {matched.top_suspect.score:.2f})"
+        )
+
+    # -- gate 7: resilience --------------------------------------------
+    def _goodput_intervals(self) -> List[Tuple[float, float]]:
+        """(t, successful ops this interval) across the fleet."""
+        totals = _deltas(_family_totals(self.timeseries, "ops_total"))
+        failed = _deltas(_family_totals(self.timeseries, "ops_failed_total"))
+        failed_at = dict(failed)
+        return [
+            (t_ms, max(0.0, n - failed_at.get(t_ms, 0.0)))
+            for t_ms, n in totals
+        ]
+
+    def _audit_breakers(self, report: VerifierReport) -> bool:
+        """Every breaker's transition log walks the FSM legally."""
+        from repro.resilience.primitives import CLOSED, VALID_TRANSITIONS
+
+        transitions = self.resilience.transitions
+        report.breaker_transitions = len(transitions)
+        by_breaker: dict = {}
+        last_t = None
+        for event in transitions:
+            if (event.from_state, event.to_state) not in VALID_TRANSITIONS:
+                report._fail(
+                    f"resilience: illegal breaker transition "
+                    f"{event.from_state}->{event.to_state} on {event.name}"
+                )
+                return False
+            if last_t is not None and event.t_ms < last_t:
+                report._fail(
+                    "resilience: breaker transition log is not "
+                    f"time-ordered at t={event.t_ms:.1f} ms"
+                )
+                return False
+            last_t = event.t_ms
+            expected = by_breaker.get(event.name, CLOSED)
+            if event.from_state != expected:
+                report._fail(
+                    f"resilience: {event.name} jumped from {expected} to "
+                    f"{event.from_state} without a logged transition"
+                )
+                return False
+            by_breaker[event.name] = event.to_state
+        return True
+
+    def _check_resilience(self, report: VerifierReport) -> None:
+        """Shedding broke the metastable loop (and did no hidden harm).
+
+        Only engages when the run carried a resilience layer.  Three
+        contracts:
+
+        * **goodput recovery** — mean per-interval goodput
+          (successful ops) over the *second half* of the recovery
+          window is ≥ ``goodput_floor`` × the pre-fault baseline.
+          Judging the late window (not first-recovered-interval)
+          is deliberate: a metastable collapse shows exactly as
+          goodput pinned near zero long after the fault cleared, and
+          one lucky interval must not mask it;
+        * **deadline honesty** — zero ops executed past their
+          deadline (the shed path must refuse them instead);
+        * **breaker audit** — the transition log walks the
+          closed/open/half-open FSM legally, in time order.
+        """
+        if self.resilience is None:
+            return
+        report.deadline_violations = self.resilience.deadline_violations
+        if not self._audit_breakers(report):
+            return
+        if self.resilience.deadline_violations > 0:
+            report._fail(
+                f"resilience: {self.resilience.deadline_violations} op(s) "
+                "executed past their deadline"
+            )
+            return
+        first_fault, clear = self._fault_window()
+        if self.timeseries is None or first_fault is None or clear is None:
+            report._skip("resilience goodput (no telemetry or fault window)")
+            return
+        intervals = self._goodput_intervals()
+        # The first post-epoch interval straddles the epoch: its delta
+        # includes tail-end prelude ops issued back-to-back before the
+        # scenario started, which would inflate an ops-per-interval
+        # baseline (unlike the ratio baselines of gates 3/5).  Drop it.
+        epoch = self.engine.epoch if self.engine is not None else None
+        if epoch is not None:
+            post_epoch = [t for t, _v in intervals if t > epoch]
+            if post_epoch:
+                first_interval = post_epoch[0]
+                intervals = [
+                    (t, v) for t, v in intervals if t != first_interval
+                ]
+        baseline = self._baseline(intervals, first_fault)
+        if baseline is None or baseline <= 0.0:
+            report._skip("resilience goodput (no pre-fault baseline)")
+            return
+        report.baseline_goodput = baseline
+        deadline = clear + self.slo.window_ms
+        half = clear + self.slo.window_ms / 2.0
+        late = [v for t, v in intervals if half < t <= deadline]
+        if not late:
+            report._fail(
+                "resilience: no telemetry in the second half of the "
+                f"{self.slo.window_ms:.0f} ms recovery window"
+            )
+            return
+        recovered = sum(late) / len(late)
+        report.recovered_goodput = recovered
+        floor = self.slo.goodput_floor * baseline
+        if recovered < floor:
+            report._fail(
+                f"resilience: goodput still {recovered:.1f} ops/interval "
+                f"(< {self.slo.goodput_floor:g}x baseline {baseline:.1f}) "
+                "in the late recovery window — metastable collapse"
+            )
+            return
+        report._ok(
+            f"resilience: goodput {recovered:.1f} >= "
+            f"{self.slo.goodput_floor:g}x baseline ({baseline:.1f}), "
+            f"0 deadline violations, "
+            f"{report.breaker_transitions} breaker transition(s) legal"
         )

@@ -738,6 +738,151 @@ def _cmd_incidents(args) -> int:
     )
 
 
+def _resilience_config(args):
+    from repro.chaos import RecoverySLO, resilience_run_config
+
+    return resilience_run_config(
+        seed=args.seed,
+        clients=args.clients,
+        deployments=args.deployments,
+        write_fraction=args.write_frac,
+        think_ms=args.think,
+        telemetry_interval_ms=args.interval,
+        drain_ms=args.drain,
+        slo=RecoverySLO(window_ms=args.window),
+        ruleset=getattr(args, "ruleset", "default"),
+    )
+
+
+def _cmd_resilience(args) -> int:
+    import json
+
+    from repro.chaos import (
+        EXPECTED_FAIL,
+        RESILIENCE_MATRIX,
+        builtin_scenarios,
+        run_scenario,
+    )
+
+    scenarios = builtin_scenarios()
+    default_names = list(RESILIENCE_MATRIX) + ["metastable-brownout-noshed"]
+
+    if args.resilience_command == "run":
+        if args.list:
+            rows = [
+                [s.name, len(s.faults), f"{s.clear_ms / 1000:.1f}s",
+                 s.description]
+                for s in (scenarios[n] for n in default_names)
+            ]
+            print(tabulate(["scenario", "faults", "clear", "description"],
+                           rows))
+            return 0
+        if not args.scenario:
+            print("need a scenario name (or --list)", file=sys.stderr)
+            return 2
+        scenario = scenarios.get(args.scenario)
+        if scenario is None:
+            print(f"unknown scenario {args.scenario!r} "
+                  f"(try: repro resilience run --list)", file=sys.stderr)
+            return 2
+        result = run_scenario(scenario, _resilience_config(args))
+        for line in _chaos_result_lines(result):
+            print(line)
+        if args.verbose:
+            for event in result.engine.log:
+                print(f"  {event}")
+        return 0 if result.passed else 1
+
+    if args.resilience_command == "matrix":
+        names = list(args.scenarios) if args.scenarios else default_names
+        unknown = [n for n in names if n not in scenarios]
+        if unknown:
+            print(f"unknown scenario(s): {unknown}", file=sys.stderr)
+            return 2
+        config = _resilience_config(args)
+        rows = []
+        records = {}
+        exit_code = 0
+        for name in names:
+            result = run_scenario(scenarios[name], config)
+            expected_fail = name in EXPECTED_FAIL
+            ok = result.passed != expected_fail
+            if not ok:
+                exit_code = 1
+                print(result.report.render())
+            snap = result.resilience or {}
+            violations = result.report.deadline_violations
+            rows.append([
+                name,
+                ("PASS" if result.passed else "FAIL")
+                + (" (expected)" if expected_fail and ok else "")
+                + (" (!)" if not ok else ""),
+                result.ops_ok,
+                snap.get("sheds", 0),
+                snap.get("deadline_expirations", 0),
+                "-" if violations is None else violations,
+                snap.get("breaker_opens", 0),
+            ])
+            records[name] = {
+                "passed": result.passed,
+                "expected_fail": expected_fail,
+                "ops_ok": result.ops_ok,
+                "ops_failed": result.ops_failed,
+                "shed": snap.get("sheds", 0),
+                "deadline_expirations": snap.get("deadline_expirations", 0),
+                "deadline_violations": violations,
+                "breaker_opened": snap.get("breaker_opens", 0) > 0,
+                "breaker_opens": snap.get("breaker_opens", 0),
+                "breaker_transitions": snap.get("breaker_transitions", 0),
+                "stale_reads": snap.get("stale_reads", 0),
+                "budget_exhaustions": snap.get("budget_exhaustions", 0),
+                "baseline_goodput": result.report.baseline_goodput,
+                "recovered_goodput": result.report.recovered_goodput,
+                "event_hash": result.event_hash,
+                "fault_log_hash": result.log_hash,
+            }
+        print(tabulate(
+            ["scenario", "verdict", "ok", "sheds", "give-ups",
+             "violations", "breaker opens"],
+            rows,
+        ))
+        if args.bench_json:
+            with open(args.bench_json, "w") as fh:
+                json.dump(
+                    {"version": 1, "seed": args.seed, "scenarios": records},
+                    fh, indent=2, sort_keys=True,
+                )
+            print(f"\nbench json: {args.bench_json}")
+        if args.baseline:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+            drift = []
+            for name, expected in sorted(baseline["scenarios"].items()):
+                got = records.get(name)
+                if got is None:
+                    continue
+                for field in ("passed", "deadline_violations",
+                              "breaker_opened", "shed"):
+                    if got[field] != expected[field]:
+                        drift.append(
+                            f"{name}: {field} {expected[field]!r} -> "
+                            f"{got[field]!r}"
+                        )
+            if drift:
+                exit_code = 1
+                print("\nresilience baseline drift:")
+                for line in drift:
+                    print(f"  {line}")
+            else:
+                print("\nresilience baseline: OK")
+        print("resilience matrix:", "PASS" if exit_code == 0 else "FAIL")
+        return exit_code
+
+    raise ValueError(
+        f"unknown resilience subcommand {args.resilience_command!r}"
+    )
+
+
 def _cmd_tenants(args) -> int:
     """Multi-tenant run: per-tenant dashboard + fairness report."""
     import json
@@ -1024,6 +1169,47 @@ def build_parser() -> argparse.ArgumentParser:
                               help=chaos_detect_help)
     _chaos_knobs(chaos_matrix)
 
+    resilience = sub.add_parser(
+        "resilience",
+        help="overload resilience: deadline / breaker / shedding "
+             "scenarios with the gate-7 verdict: run / matrix",
+    )
+    resilience_sub = resilience.add_subparsers(
+        dest="resilience_command", required=True
+    )
+
+    resilience_run = resilience_sub.add_parser(
+        "run", help="one overload scenario under the convoy-prone "
+                    "workload shape"
+    )
+    resilience_run.add_argument("scenario", nargs="?", default=None,
+                                help="built-in scenario name")
+    resilience_run.add_argument("--list", action="store_true",
+                                help="list the overload scenarios and exit")
+    resilience_run.add_argument("--verbose", action="store_true",
+                                help="print the full fault log")
+    _chaos_knobs(resilience_run)
+
+    resilience_matrix = resilience_sub.add_parser(
+        "matrix", help="the overload regression set (includes the "
+                       "expected-FAIL noshed twin)"
+    )
+    resilience_matrix.add_argument("--scenarios", nargs="+", default=None,
+                                   help="override the default set")
+    resilience_matrix.add_argument("--bench-json", default=None,
+                                   metavar="PATH",
+                                   help="write the resilience baseline JSON "
+                                        "(BENCH_resilience.json)")
+    resilience_matrix.add_argument("--baseline", default=None, metavar="PATH",
+                                   help="gate against a committed resilience "
+                                        "baseline (exit 1 on drift)")
+    _chaos_knobs(resilience_matrix)
+
+    for p in (resilience_run, resilience_matrix):
+        # The convoy-prone canonical shape (see resilience_run_config),
+        # not the generic chaos defaults.
+        p.set_defaults(clients=48, write_frac=0.5, window=8_000.0)
+
     incidents = sub.add_parser(
         "incidents",
         help="online alerting + root-cause attribution: "
@@ -1149,6 +1335,7 @@ COMMANDS = {
     "telemetry": _cmd_telemetry,
     "profile": _cmd_profile,
     "chaos": _cmd_chaos,
+    "resilience": _cmd_resilience,
     "incidents": _cmd_incidents,
     "tenants": _cmd_tenants,
     "bench": _cmd_bench,

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Deque, Generator, Optional
 
 from repro.core.messages import MetadataRequest, OpType
 from repro.faas.platform import InstanceTerminated
+from repro.resilience.primitives import attempt_timeout_ms
 from repro.rpc.connections import ConnectionDropped
 from repro.rpc.retry import RetryPolicy
 
@@ -42,19 +43,34 @@ class ClientConfig:
     replacement_probability: float = 0.01
     """HTTP-TCP replacement probability (§3.4; best ≤ 1 %)."""
     http_timeout_ms: float = 30_000.0
-    max_attempts: int = 16
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     straggler_enabled: bool = True
     straggler_threshold: float = 10.0
     """Resubmit when latency ≥ threshold × moving average (App. B)."""
     straggler_floor_ms: float = 50.0
     """Never flag requests faster than this as stragglers."""
+    straggler_reserve: int = 2
+    """Final attempts that run without the straggler watchdog: when
+    the whole system is saturated, resubmitting forever never
+    finishes, so the tail of the attempt budget waits requests out."""
     latency_window: int = 64
     antithrash_enabled: bool = True
     antithrash_threshold: float = 2.5
     """Enter anti-thrashing mode past this multiple of the moving
     average (App. C: T between 2–3 performs best)."""
     antithrash_cooldown_ms: float = 5_000.0
+
+    @property
+    def max_attempts(self) -> int:
+        """Attempt limit, derived from :class:`RetryPolicy` — the
+        single source of truth (there used to be a second, conflicting
+        constant here)."""
+        return self.retry.max_attempts
+
+    @property
+    def straggler_attempt_cutoff(self) -> int:
+        """Attempts below this run with the straggler watchdog."""
+        return self.retry.max_attempts - self.straggler_reserve
 
 
 class LambdaFSClient:
@@ -73,6 +89,8 @@ class LambdaFSClient:
         #: single-tenant runs — no extra attrs, no extra series.
         self.tenant: Optional[str] = None
         self._rng = fs.rngs.stream(f"client:{self.id}")
+        #: Resilience control plane, or None (byte-identical hot path).
+        self._res = fs.resilience
         self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
         self._antithrash_until = -float("inf")
         self.stats_stragglers = 0
@@ -145,6 +163,13 @@ class LambdaFSClient:
             tcp_servers=tuple(self.vm.servers),
             payload=payload,
         )
+        res = self._res
+        if res is not None:
+            # Stamping is observational (a float riding the request) and
+            # stays on even when the ``disable_shedding`` latch stands
+            # the *enforcement* down — that is how the noshed twin's
+            # deadline violations remain detectable.
+            res.stamp(request)
         deployment = self.fs.partitioner.deployment_for(path)
         tracer = env.tracer
         op_span = None
@@ -209,6 +234,34 @@ class LambdaFSClient:
         while True:
             attempt += 1
             request.attempt = attempt
+            res = self._res
+            res_on = res is not None and res.active
+            breaker = None
+            if res_on:
+                if res.expired(request):
+                    # The op's end-to-end budget is gone: give up at
+                    # the source rather than feeding dead work in.
+                    res.note_deadline_expired(request, "client", self.id)
+                    raise RequestTimeout(
+                        f"deadline exceeded after {attempt - 1} attempts"
+                    )
+                breaker = res.breaker("client", deployment)
+                if not breaker.allow(env.now):
+                    res.breaker_rejected("client")
+                    if attempt >= self.config.max_attempts:
+                        raise RequestTimeout(
+                            f"breaker open for {deployment}"
+                        )
+                    wait = breaker.retry_after_ms(env.now)
+                    if wait <= 0.0:
+                        wait = self.config.retry.full_jitter_delay(
+                            attempt, self._rng
+                        )
+                    deadline = request.deadline_ms
+                    if deadline is not None:
+                        wait = min(wait, max(0.0, deadline - env.now))
+                    yield env.timeout(wait)
+                    continue
             connection = yield from self.vm.find_shared(
                 deployment, self.server, trace_parent=op_span
             )
@@ -237,11 +290,38 @@ class LambdaFSClient:
                 else:
                     self.stats_http_rpcs += 1
                     response = yield from self._http_call(request, deployment)
+                if res_on and response.shed:
+                    # Explicit pushback from a downstream hop: a
+                    # breaker failure signal, and a budgeted retry if
+                    # the op is still alive.
+                    breaker.record_failure(env.now)
+                    if tracer is not None:
+                        tracer.end(rpc_span, ok=False, error="Shed")
+                        resubmit_of = rpc_span.span_id
+                    retry = (
+                        attempt < self.config.max_attempts
+                        and not res.expired(request)
+                    )
+                    if retry and not res.budget(self.id).try_spend():
+                        res.budget_exhausted()
+                        retry = False
+                    if retry:
+                        self.stats_retries += 1
+                        if metrics is not None:
+                            metrics.inc("rpc_retries_total", error="Shed")
+                        yield from self._backoff(request, attempt, op_span)
+                        continue
+                    return response, "tcp" if use_tcp else "http", False
+                if res_on:
+                    breaker.record_success(env.now)
+                    res.budget(self.id).refill()
                 if tracer is not None:
                     tracer.end(rpc_span, ok=response.ok)
                 return response, "tcp" if use_tcp else "http", response.cache_hit
             except (ConnectionDropped, InstanceTerminated, RequestTimeout) as exc:
                 self.stats_retries += 1
+                if res_on:
+                    breaker.record_failure(env.now)
                 if metrics is not None:
                     metrics.inc("rpc_retries_total", error=type(exc).__name__)
                 if tracer is not None:
@@ -256,25 +336,48 @@ class LambdaFSClient:
                     )
                 if attempt >= self.config.max_attempts:
                     raise
+                if res_on:
+                    if res.expired(request):
+                        # No budget left for another attempt — let the
+                        # deadline check at the loop top account it.
+                        continue
+                    if not res.budget(self.id).try_spend():
+                        res.budget_exhausted()
+                        raise
                 if not use_tcp:
                     # HTTP resubmission storms are dangerous (§3.2):
                     # back off exponentially with jitter.
-                    backoff = self.config.retry.delay(attempt, self._rng)
-                    if metrics is not None:
-                        metrics.inc("rpc_backoff_ms_total", backoff)
-                    backoff_span = None
-                    if tracer is not None:
-                        backoff_span = tracer.begin(
-                            "client.backoff", self.id, parent=op_span,
-                            attempt=attempt, backoff_ms=backoff,
-                            **self.config.retry.as_attrs(),
-                        )
-                    yield env.timeout(backoff)
-                    if tracer is not None:
-                        tracer.end(backoff_span)
+                    yield from self._backoff(request, attempt, op_span)
                 # A dropped TCP connection retries immediately: the
                 # next find_shared scans sibling servers, and the HTTP
                 # fallback kicks in if nothing is connected.
+
+    def _backoff(self, request: MetadataRequest, attempt: int, op_span) -> Generator:
+        """Full-jitter backoff before retry ``attempt + 1``.
+
+        Full jitter (uniform over [0, capped exponential]) rather than
+        the legacy centred jitter: decorrelating a fleet of retriers
+        is exactly what §3.2's backoff exists for.  With a deadline,
+        the sleep never extends past the op's remaining budget.
+        """
+        env = self.fs.env
+        backoff = self.config.retry.full_jitter_delay(attempt, self._rng)
+        res = self._res
+        if res is not None and res.active and request.deadline_ms is not None:
+            backoff = min(backoff, max(0.0, request.deadline_ms - env.now))
+        if env.metrics is not None:
+            env.metrics.inc("rpc_backoff_ms_total", backoff)
+        backoff_span = None
+        tracer = env.tracer
+        if tracer is not None:
+            backoff_span = tracer.begin(
+                "client.backoff", self.id, parent=op_span,
+                attempt=attempt, backoff_ms=backoff,
+                **self.config.retry.as_attrs(),
+            )
+        yield env.timeout(backoff)
+        if tracer is not None:
+            tracer.end(backoff_span)
 
     def _tcp_call(self, connection, request: MetadataRequest) -> Generator:
         """Direct TCP RPC with straggler mitigation (Appendix B).
@@ -288,7 +391,7 @@ class LambdaFSClient:
         call = env.process(connection.call(request))
         watchdog = (
             self.config.straggler_enabled
-            and request.attempt < self.config.max_attempts - 2
+            and request.attempt < self.config.straggler_attempt_cutoff
         )
         if not watchdog:
             response = yield call
@@ -327,8 +430,18 @@ class LambdaFSClient:
                         parent=request.trace_parent, deployment=deployment,
                     )
                 raise RequestTimeout(f"gateway shed invoke of {deployment}")
+        timeout_ms = self.config.http_timeout_ms
+        res = self._res
+        if res is not None and res.active and request.deadline_ms is not None:
+            # Budget-sized attempt timeout instead of the fixed 30 s:
+            # a dying op stops waiting long before its transport does.
+            timeout_ms = attempt_timeout_ms(
+                res.config, request.deadline_ms, env.now, timeout_ms
+            )
+            if timeout_ms <= 0.0:
+                raise RequestTimeout("deadline exhausted before invoke")
         invoke = env.process(self.fs.platform.invoke(deployment, request))
-        timer = env.timeout(self.config.http_timeout_ms)
+        timer = env.timeout(timeout_ms)
         outcome = yield invoke | timer
         if invoke not in outcome:
             invoke.defused()

@@ -35,6 +35,7 @@ from repro.faas import FaaSConfig, FaaSPlatform
 from repro.metastore import NdbConfig, NdbStore
 from repro.metrics import MetricsRecorder, lambda_cost, simplified_cost
 from repro.namespace.cache import CacheStats
+from repro.resilience import ResilienceConfig, ResilienceManager
 from repro.rpc import ClientVM, LatencyConfig, LatencyModel
 from repro.sim import AllOf, Environment, RngStreams
 
@@ -54,6 +55,9 @@ class LambdaFSConfig:
     latency: LatencyConfig = field(default_factory=LatencyConfig)
     subtree: SubtreeConfig = field(default_factory=SubtreeConfig)
     datanodes: DataNodeConfig = field(default_factory=DataNodeConfig)
+    resilience: Optional[ResilienceConfig] = None
+    """Opt-in resilience layer (deadlines, breakers, load shedding);
+    None keeps every mechanism detached and runs byte-identical."""
 
 
 class LambdaFS:
@@ -64,14 +68,25 @@ class LambdaFS:
         self.config = config or LambdaFSConfig()
         self.rngs = RngStreams(self.config.seed)
         self.latency = LatencyModel(self.rngs.stream("latency"), self.config.latency)
+        #: Optional resilience control plane; created before the store
+        #: and platform so both can hold a reference at construction.
+        self.resilience = (
+            ResilienceManager(
+                env, self.config.resilience, self.rngs.stream("resilience")
+            )
+            if self.config.resilience is not None
+            else None
+        )
         self.store = NdbStore(
             env, self.config.ndb, rng=self.rngs.stream("ndb-retry")
         )
+        self.store.resilience = self.resilience
         self.ops = NamespaceOps(self.store)
         self.coordinator = make_coordinator(env, self.config.coordinator_kind)
         self.platform = FaaSPlatform(
             env, self.config.faas, rng=self.rngs.stream("faas")
         )
+        self.platform.resilience = self.resilience
         self.partitioner = NamespacePartitioner(self.config.num_deployments)
         self.subtree = SubtreeProtocol(self, self.config.subtree)
         self.datanodes = DataNodeService(env, self.store, self.config.datanodes)

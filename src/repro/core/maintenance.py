@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, List
 
+from repro.metastore.errors import TransactionAborted
 from repro.metastore.ndb import NdbStore
 from repro.sim import Environment
 
@@ -51,6 +52,7 @@ class DataNodeService:
         ]
         self._started = False
         self.reports_published = 0
+        self.reports_dropped = 0
 
     def start(self) -> None:
         if self._started:
@@ -70,6 +72,15 @@ class DataNodeService:
             def body(txn, row=report):
                 yield from txn.write(("datanode", row.datanode_id), row)
 
-            yield from self.store.run_transaction(body)
-            self.reports_published += 1
+            try:
+                yield from self.store.run_transaction(body)
+            except TransactionAborted:
+                # The store can stay unreachable past the txn retry
+                # budget (shard outage, open circuit breaker).  A block
+                # report is periodic soft state — drop this edition and
+                # publish a fresh one next interval instead of letting
+                # the reporter process die with the exception.
+                self.reports_dropped += 1
+            else:
+                self.reports_published += 1
             yield self.env.timeout(self.config.report_interval_ms)

@@ -62,6 +62,11 @@ class MetadataRequest:
     """Span id of the client-side RPC attempt (set only while a
     :class:`repro.trace.Tracer` is installed), so server-side spans
     attach to the issuing operation's causal tree."""
+    deadline_ms: Optional[float] = None
+    """Absolute sim-time deadline for the whole op (resilience mode).
+    Every hop — gateway, FaaS queue, NameNode admission, metastore
+    txn — computes its remaining budget from this and sheds the
+    request once it has expired instead of executing dead work."""
 
 
 @dataclass
@@ -74,3 +79,11 @@ class MetadataResponse:
     error: Optional[str] = None
     served_by: str = ""
     cache_hit: bool = False
+    shed: bool = False
+    """Explicit pushback: a hop refused the request (deadline expired
+    or load shed) without executing it.  Clients may retry if their
+    budget and deadline allow, but must not treat it as a crash."""
+    stale: bool = False
+    """Served from an invalidated cache entry under shed pressure
+    (bounded staleness; see ``staleness_ms``)."""
+    staleness_ms: Optional[float] = None

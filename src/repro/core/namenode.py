@@ -23,7 +23,13 @@ from repro.metastore.errors import TransactionAborted
 from repro.namespace.cache import MetadataCache
 from repro.namespace.inode import INode, dirent_key, inode_key
 from repro.namespace.paths import components, is_descendant, normalize, parent_of
+from repro.rpc.retry import RetryPolicy
 from repro.sim import AllOf, Event
+
+#: Backoff curve for aborted write transactions: full jitter over the
+#: same capped exponential the legacy fixed backoff followed
+#: (4 → 128 ms).
+_WRITE_BACKOFF = RetryPolicy(base_ms=4.0, factor=2.0, max_ms=128.0)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.fs import LambdaFS
@@ -72,6 +78,17 @@ class LambdaNameNode:
         self._datanode_view: List[str] = []
         self._datanode_view_at = -float("inf")
         self._last_result_purge = 0.0
+        self._backoff_rng = fs.rngs.stream("nn-retry")
+        # Resilience control plane (None keeps every path identical).
+        res = fs.resilience
+        self._res = res
+        self._shedder = res.shedder(instance.id) if res is not None else None
+        # path -> (invalidated_at_ms, inode): snapshots of entries the
+        # coherence protocol invalidated, retained briefly so reads
+        # under shed pressure can degrade to bounded-staleness serving
+        # instead of being dropped or hitting a browning-out store.
+        self._stale_inodes: Dict[str, Tuple[float, INode]] = {}
+        self._stale_ms: float | None = None
 
     # -- lifecycle hooks called by the FaaS instance ---------------------
     @property
@@ -126,6 +143,13 @@ class LambdaNameNode:
             # The original serve died without an answer; fall through
             # and execute the request ourselves.
 
+        res = self._res
+        res_on = res is not None and res.active
+        if res_on:
+            shed = self._admission(request)
+            if shed is not None:
+                return shed
+
         marker = Event(env)
         self._inflight[request.request_id] = marker
         response = None
@@ -136,7 +160,18 @@ class LambdaNameNode:
                     "nn.handle", self.member_id, parent=request.trace_parent,
                     op=request.op.value, path=request.path, via=via,
                 )
+            if res_on:
+                # Measure this request's CPU-queue delay (compute time
+                # beyond the service demand is time spent waiting for
+                # a slot) and feed the CoDel shedder.
+                self._stale_ms = None
+                admitted_at = env.now
             yield from self.instance.compute(self.config.cpu_ms_per_op)
+            if res_on:
+                self._shedder.observe(
+                    env.now,
+                    env.now - admitted_at - self.config.cpu_ms_per_op,
+                )
             try:
                 if request.op is OpType.EXEC_BATCH:
                     value, hit = (yield from self._exec_batch(request, span)), False
@@ -148,6 +183,9 @@ class LambdaNameNode:
                     request_id=request.request_id, ok=True, value=value,
                     served_by=self.member_id, cache_hit=hit,
                 )
+                if res_on and self._stale_ms is not None:
+                    response.stale = True
+                    response.staleness_ms = self._stale_ms
             except (FsError, TransactionAborted) as exc:
                 # TransactionAborted surfaces when every retry of a
                 # store transaction timed out (sustained lock convoys
@@ -168,6 +206,97 @@ class LambdaNameNode:
         if via == "http":
             self._connect_back(request)
         return response
+
+    # -- resilience admission -------------------------------------------------
+    def _admission(self, request: MetadataRequest):
+        """Refuse work this NameNode should not execute.
+
+        Two triggers: the op's end-to-end deadline already expired
+        (executing it would be pure waste — the client gave up), or
+        the CoDel shedder's drop schedule fired under sustained
+        CPU-queue delay.  Degradable reads (a bounded-staleness
+        snapshot exists) are admitted through pressure so they can be
+        served stale rather than dropped.  Returns the shed response,
+        or None to admit.
+        """
+        res = self._res
+        env = self.fs.env
+        deadline = request.deadline_ms
+        if deadline is not None and env.now >= deadline:
+            return res.shed_response(
+                request, "namenode", "deadline", actor=self.member_id
+            )
+        if request.op is OpType.EXEC_BATCH:
+            # Subtree helper batches ride their parent op's budget;
+            # the parent was already admitted.
+            return None
+        shedder = self._shedder
+        if (
+            shedder.under_pressure
+            and not request.op.is_write
+            and self._stale_candidate(request) is not None
+        ):
+            return None
+        if shedder.should_shed(env.now):
+            return res.shed_response(
+                request, "namenode", "overload", actor=self.member_id
+            )
+        return None
+
+    def _stale_candidate(self, request: MetadataRequest):
+        """A within-bound invalidated snapshot for this read, if any."""
+        if request.op not in (OpType.STAT, OpType.READ_FILE):
+            return None
+        path = normalize(request.path)
+        entry = self._stale_inodes.get(path)
+        if entry is None:
+            return None
+        if self.fs.env.now - entry[0] > self._res.config.stale_read_bound_ms:
+            del self._stale_inodes[path]
+            return None
+        return entry
+
+    def _serve_stale(self, request: MetadataRequest, path: str, span=None):
+        """Bounded-staleness degraded read (graceful degradation).
+
+        Serves the snapshot taken when the entry was invalidated,
+        flags the response (``stale`` + ``staleness_ms``), and emits a
+        ``nn.cache_hit`` point carrying ``bounded_stale`` attrs so the
+        coherence checker can *verify* the staleness bound instead of
+        being disabled for this mode.
+        """
+        entry = self._stale_candidate(request)
+        if entry is None:
+            return None
+        invalidated_at, inode = entry
+        env = self.fs.env
+        res = self._res
+        staleness = env.now - invalidated_at
+        self.cache.stats.record_lookup(hit=True)
+        if env.tracer is not None:
+            env.tracer.point(
+                "nn.cache_hit", self.member_id, parent=span, path=path,
+                bounded_stale=True, staleness_ms=staleness,
+                stale_bound_ms=res.config.stale_read_bound_ms,
+            )
+        res.note_stale_read(staleness)
+        self._stale_ms = staleness
+        if request.op is OpType.READ_FILE:
+            return self._file_view(inode), True
+        return inode, True
+
+    def _remember_stale(self, path: str) -> None:
+        """Snapshot an entry the coherence protocol is invalidating."""
+        res = self._res
+        if res is None or not res.active:
+            return
+        inode = self.cache.peek(path)
+        if inode is None:
+            return
+        stale = self._stale_inodes
+        stale[path] = (self.fs.env.now, inode)
+        while len(stale) > res.config.stale_keep:
+            del stale[next(iter(stale))]
 
     # -- reads ---------------------------------------------------------------
     @staticmethod
@@ -202,6 +331,12 @@ class LambdaNameNode:
                 yield from self._maybe_refresh_datanodes()
                 return self._file_view(inode), True
             return inode, True
+        res = self._res
+        res_on = res is not None and res.active
+        if res_on and self._shedder.under_pressure:
+            served = self._serve_stale(request, path, span)
+            if served is not None:
+                return served
         self.cache.stats.record_lookup(hit=False)
         if tracer is not None:
             tracer.point("nn.cache_miss", self.member_id, parent=span,
@@ -211,6 +346,7 @@ class LambdaNameNode:
             lambda txn: self.fs.ops.resolve(txn, path, known),
             retries=self.config.txn_retries,
             label="resolve", trace_parent=span,
+            deadline_ms=request.deadline_ms if res_on else None,
         )
         self._cache_resolved(resolved, span)
         inode = resolved[path]
@@ -300,9 +436,23 @@ class LambdaNameNode:
 
         env = self.fs.env
         ops = self.fs.ops
+        res = self._res
+        res_on = res is not None and res.active
         attempt = 0
         while True:
-            txn = self.fs.store.begin(label=request.op.value, trace_parent=span)
+            if res_on and res.expired(request):
+                # The budget ran out between retries: refuse to start
+                # another txn attempt for a client that already quit.
+                res.note_deadline_expired(request, "namenode-txn",
+                                          self.member_id)
+                raise FsError(
+                    f"{request.op.value} on {request.path!r} deadline "
+                    f"expired during txn retries"
+                )
+            txn = self.fs.store.begin(
+                label=request.op.value, trace_parent=span,
+                deadline_ms=request.deadline_ms if res_on else None,
+            )
             try:
                 path = normalize(request.path)
                 known = self.cache.get_path_prefix(path)
@@ -361,6 +511,29 @@ class LambdaNameNode:
                     affected, broadcast=locals().get("broadcast", False),
                     trace_parent=span,
                 )
+                if (
+                    res is not None
+                    and request.deadline_ms is not None
+                    and env.now >= request.deadline_ms
+                ):
+                    # The point of no return for gate 7: the mutation is
+                    # about to persist on behalf of a client whose
+                    # deadline already passed.  With enforcement active
+                    # the write is refused here (counted as one more
+                    # deadline give-up) so the executed-past-deadline
+                    # tripwire is unreachable by construction; with the
+                    # ``disable_shedding`` latch off it commits anyway
+                    # and every late commit is counted — the noshed
+                    # twin's smoking gun.
+                    if res_on:
+                        res.note_deadline_expired(
+                            request, "namenode-commit", self.member_id
+                        )
+                        raise FsError(
+                            f"{request.op.value} on {request.path!r} "
+                            f"deadline expired before commit"
+                        )
+                    res.note_deadline_violation("namenode-commit")
                 tracer = env.tracer
                 if tracer is not None:
                     tracer.point(
@@ -381,7 +554,12 @@ class LambdaNameNode:
                         "nn.retry_backoff", self.member_id, parent=span,
                         attempt=attempt, op=request.op.value,
                     )
-                yield env.timeout(2.0 * (2 ** min(attempt, 6)))
+                # Full jitter over the same capped exponential curve
+                # the old hand-rolled 2·2^min(attempt,6) backoff
+                # followed: synchronized abort storms decorrelate.
+                yield env.timeout(
+                    _WRITE_BACKOFF.full_jitter_delay(attempt, self._backoff_rng)
+                )
                 if tracer is not None:
                     tracer.end(retry_span)
             except BaseException:
@@ -475,6 +653,10 @@ class LambdaNameNode:
         gone = set(removed)
         for path in removed:
             self.cache.invalidate(path)
+            if self._stale_inodes:
+                # The leader deleted it: a stale snapshot must not
+                # resurrect the entry under shed pressure.
+                self._stale_inodes.pop(path, None)
             if tracer is not None:
                 tracer.point("nn.cache_invalidate", self.member_id, path=path)
             self._listing_cache.pop(path, None)
@@ -482,10 +664,14 @@ class LambdaNameNode:
         for path, inode in resolved.items():
             if path not in gone:
                 self.cache.put(path, inode)
+                if self._stale_inodes:
+                    self._stale_inodes.pop(path, None)
                 if tracer is not None:
                     tracer.point("nn.cache_put", self.member_id, path=path)
         for path, inode in new_entries.items():
             self.cache.put(path, inode)
+            if self._stale_inodes:
+                self._stale_inodes.pop(path, None)
             if tracer is not None:
                 tracer.point("nn.cache_put", self.member_id, path=path)
             self._drop_listing_of_parent(path)
@@ -519,9 +705,14 @@ class LambdaNameNode:
     # -- invalidation handling (follower role) -----------------------------------
     def _on_invalidation(self, inv: Invalidation) -> None:
         if inv.is_subtree:
+            # Subtree INVs are not snapshotted for stale serving:
+            # capturing a whole detached subtree is unbounded work,
+            # and MV/DELETE targets are exactly what must not be
+            # served stale-by-structure.
             self._invalidate_prefix_local(inv.prefix)
             return
         for path in inv.paths:
+            self._remember_stale(path)
             self.cache.invalidate(path)
             self._listing_cache.pop(path, None)
             self._drop_listing_of_parent(path)
@@ -548,6 +739,9 @@ class LambdaNameNode:
         tracer = self.fs.env.tracer
         for path, inode in resolved.items():
             self.cache.put(path, inode)
+            if self._stale_inodes:
+                # A fresh copy supersedes any stale snapshot.
+                self._stale_inodes.pop(path, None)
             if tracer is not None:
                 tracer.point("nn.cache_put", self.member_id, parent=span,
                              path=path)

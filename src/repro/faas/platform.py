@@ -294,6 +294,9 @@ class FaaSPlatform:
         self.evictions = 0
         self._reclaimer_started = False
         self._last_forced_eviction = -float("inf")
+        #: Resilience control plane (set by LambdaFS when attached);
+        #: None keeps the invoker path byte-identical.
+        self.resilience = None
 
     # -- registry ---------------------------------------------------------
     def register_deployment(self, name: str, app_factory: Callable) -> Deployment:
@@ -419,8 +422,23 @@ class FaaSPlatform:
                 parent=getattr(request, "trace_parent", None),
                 deployment=deployment_name,
             )
+        res = self.resilience
         instance: Optional[FunctionInstance] = None
         while instance is None:
+            if (
+                res is not None
+                and res.active
+                and getattr(request, "deadline_ms", None) is not None
+                and env.now >= request.deadline_ms
+            ):
+                # The op's budget expired while queued at the invoker
+                # (typically an abandoned resubmit): drop it here
+                # instead of burning an instance slot on dead work.
+                if tracer is not None:
+                    tracer.end(queue_span, shed=True)
+                return res.shed_response(
+                    request, "faas-queue", "deadline", actor=deployment_name
+                ), None
             instance = deployment.pick_available()
             if instance is not None:
                 break

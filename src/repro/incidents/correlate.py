@@ -109,6 +109,21 @@ FAULT_SIGNATURES: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "rules": ("fairness-dip", "latency-anomaly"),
         "stages": ("namenode", "invoker_queue", "store"),
     },
+    "load_spike": {
+        "rules": ("latency-anomaly", "retry-spike", "shed-spike",
+                  "deadline-give-ups", "breaker-open",
+                  "error-burn-fast", "error-burn-slow"),
+        "stages": ("namenode", "invoker_queue", "store", "lock_wait"),
+    },
+    "disable_shedding": {
+        # Latching the resilience layer off has no symptom of its own —
+        # it makes the *other* active faults' symptoms worse — so its
+        # signature borrows the overload vocabulary minus the shed
+        # rules that can no longer fire.
+        "rules": ("latency-anomaly", "retry-spike",
+                  "error-burn-fast", "error-burn-slow"),
+        "stages": ("store", "lock_wait"),
+    },
 }
 
 

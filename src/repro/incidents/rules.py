@@ -449,6 +449,30 @@ def default_rules() -> List[Rule]:
             description="replication scanner found under-replicated "
                         "blocks",
         ),
+        ThresholdRule(
+            name="breaker-open",
+            signal=Signal(
+                "resilience_breaker_transitions_total", mode="delta",
+                labels={"to": "open"},
+            ),
+            threshold=0.5, op=">",
+            description="circuit breaker(s) tripped open this interval "
+                        "(a destination is failing or slow)",
+        ),
+        ThresholdRule(
+            name="shed-spike",
+            signal=Signal("resilience_sheds_total", mode="delta"),
+            threshold=2.5, op=">", severity="warn",
+            description="admission control shedding load (overload or "
+                        "expired deadlines at the door)",
+        ),
+        ThresholdRule(
+            name="deadline-give-ups",
+            signal=Signal("resilience_deadline_expired_total", mode="delta"),
+            threshold=2.5, op=">", severity="warn",
+            description="ops abandoning work mid-flight as end-to-end "
+                        "deadlines expire (system slower than its SLO)",
+        ),
     ]
 
 

@@ -142,6 +142,18 @@ class LockManager:
                              epoch=getattr(owner, "_lock_epoch", None))
             return
 
+        if budget <= 0.0:
+            # Deadline-capped callers can arrive with no wait budget
+            # left; fail fast without enqueuing (no events, no timer —
+            # detached runs never reach here, so hashes are safe).
+            if metrics is not None:
+                metrics.inc("lock_waits_total", mode=mode.value)
+                metrics.inc("lock_wait_timeouts_total")
+            if tracer is not None:
+                tracer.point("lock.wait_timeout", repr(owner), key=repr(key),
+                             budget_ms=budget)
+            raise LockTimeout(f"lock wait on {key!r} exceeded {budget} ms")
+
         wait_span = None
         if tracer is not None:
             # A *span*, not a point: its duration is the lock-wait

@@ -81,6 +81,10 @@ class NdbStore:
         ]
         self._txn_ids = count(1)
         self.stats = NdbStats()
+        #: Optional :class:`~repro.resilience.ResilienceManager`; when
+        #: attached, shard accesses report latency to per-shard circuit
+        #: breakers and transactions honor request deadlines.
+        self.resilience = None
         if env.metrics is not None:
             self._register_gauges(env.metrics)
 
@@ -120,9 +124,21 @@ class NdbStore:
         return len(self._data)
 
     # -- transactions ----------------------------------------------------
-    def begin(self, label: str = "", trace_parent=None) -> "Transaction":
-        """Start a new transaction."""
-        txn = Transaction(self, next(self._txn_ids), label)
+    def begin(
+        self,
+        label: str = "",
+        trace_parent=None,
+        deadline_ms: Optional[float] = None,
+    ) -> "Transaction":
+        """Start a new transaction.
+
+        ``deadline_ms`` is the absolute sim-time deadline of the op this
+        transaction serves; lock waits are capped by the remaining
+        budget so a doomed transaction fails fast instead of camping on
+        rows for the full NDB lock-wait timeout.
+        """
+        txn = Transaction(self, next(self._txn_ids), label,
+                          deadline_ms=deadline_ms)
         tracer = self.env.tracer if self.env.instrumented else None
         if tracer is not None:
             txn._trace_span = tracer.begin(
@@ -138,6 +154,7 @@ class NdbStore:
         backoff_cap_ms: float = 64.0,
         label: str = "",
         trace_parent=None,
+        deadline_ms: Optional[float] = None,
     ) -> Generator:
         """Run ``body`` with retry-on-abort; returns the body's value.
 
@@ -146,13 +163,22 @@ class NdbStore:
         exponential backoff capped at ``backoff_cap_ms``: aborts come
         in storms (one timeout aborts every waiter on the row), and
         uncapped, lock-step retries would re-collide indefinitely.
+
+        With ``deadline_ms`` set, each (re)attempt first checks the
+        remaining budget and aborts permanently once it is exhausted —
+        retrying a transaction whose caller has already given up only
+        feeds metastable overload.
         """
         attempt = 0
         policy = RetryPolicy(
             base_ms=backoff_ms, factor=2.0, max_ms=backoff_cap_ms
         )
         while True:
-            txn = self.begin(label, trace_parent)
+            if deadline_ms is not None and self.env.now >= deadline_ms:
+                raise TransactionAborted(
+                    f"deadline expired before txn attempt ({label or 'txn'})"
+                )
+            txn = self.begin(label, trace_parent, deadline_ms=deadline_ms)
             try:
                 result = yield from body(txn)
                 yield from txn.commit()
@@ -186,6 +212,16 @@ class NdbStore:
 
     def _service(self, shard: Resource, service_ms: float) -> Generator:
         """One shard access: half RTT, queue for a worker, serve, half RTT."""
+        res = self.resilience
+        breaker = None
+        if res is not None and res.active:
+            breaker = res.breaker("shard", str(self._shards.index(shard)))
+            if not breaker.allow(self.env.now):
+                res.breaker_rejected("shard")
+                raise TransactionAborted(
+                    f"{breaker.name} breaker open"
+                )
+        started = self.env.now
         chaos = self.env.chaos if self.env.instrumented else None
         if chaos is not None:
             index = self._shards.index(shard)
@@ -204,6 +240,15 @@ class NdbStore:
             yield self.env.timeout(service_ms)
         if half_rtt:
             yield self.env.timeout(half_rtt)
+        if breaker is not None:
+            # Brownouts (chaos slowdowns, failover holds, queueing) show
+            # up as latency, so a slow completion is a failure signal to
+            # the breaker even though the access ultimately succeeded.
+            elapsed = self.env.now - started
+            if elapsed > res.config.shard_latency_threshold_ms:
+                breaker.record_failure(self.env.now)
+            else:
+                breaker.record_success(self.env.now)
 
     def _service_batch(self, keys: Iterable[Any], base_ms: float) -> Generator:
         """Access several rows as one batched request.
@@ -254,10 +299,17 @@ class Transaction:
     methods are generators (``yield from`` them inside a process).
     """
 
-    def __init__(self, store: NdbStore, txn_id: int, label: str = "") -> None:
+    def __init__(
+        self,
+        store: NdbStore,
+        txn_id: int,
+        label: str = "",
+        deadline_ms: Optional[float] = None,
+    ) -> None:
         self.store = store
         self.id = txn_id
         self.label = label
+        self.deadline_ms = deadline_ms
         self._staged: Dict[Any, Any] = {}
         self._locked: Set[Any] = set()
         self._done = False
@@ -279,8 +331,17 @@ class Transaction:
         if not _batched:
             self._lock_epoch += 1
         mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        timeout_ms = None
+        if self.deadline_ms is not None:
+            # Cap the lock wait by the op's remaining deadline budget:
+            # once the caller would give up anyway, waiting the full
+            # NDB lock-wait timeout just keeps rows poisoned longer.
+            remaining = self.deadline_ms - self.store.env.now
+            timeout_ms = min(self.store.config.lock_timeout_ms, remaining)
         try:
-            yield from self.store.locks.acquire(self, key, mode)
+            yield from self.store.locks.acquire(
+                self, key, mode, timeout_ms=timeout_ms
+            )
         except TransactionAborted:
             self.abort()
             raise

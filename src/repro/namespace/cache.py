@@ -131,6 +131,16 @@ class MetadataCache:
                 self._touch(node)
         return found
 
+    def peek(self, path: str) -> Optional[INode]:
+        """The cached INode without touching stats or LRU order.
+
+        Used by the resilience stale-snapshot hook, which inspects an
+        entry at invalidation time — not a lookup, so it must not
+        perturb hit ratios or eviction behaviour.
+        """
+        node = self._find(path)
+        return node.inode if node is not None else None
+
     def __contains__(self, path: str) -> bool:
         node = self._find(path)
         return node is not None and node.inode is not None

@@ -38,10 +38,15 @@ class TcpConnection:
         return self.instance.deployment_name
 
     def close(self) -> None:
-        if self.alive and self.server.env.metrics is not None:
-            self.server.env.metrics.inc(
-                "tcp_connections_closed_total", deployment=self.deployment
-            )
+        if self.alive:
+            env = self.server.env
+            if env.metrics is not None:
+                env.metrics.inc(
+                    "tcp_connections_closed_total", deployment=self.deployment
+                )
+            tracer = env.tracer
+            if tracer is not None:
+                tracer.connection_closed()
         self.alive = False
         self.server._drop(self)
 
@@ -145,6 +150,7 @@ class TcpServer:
             )
         tracer = self.env.tracer
         if tracer is not None:
+            tracer.connection_opened()
             tracer.point(
                 "tcp.connect_back", f"server{self.id}",
                 deployment=instance.deployment_name, instance=instance.id,

@@ -17,7 +17,11 @@ class RetryPolicy:
     factor: float = 2.0
     max_ms: float = 2_000.0
     jitter: float = 0.5
-    max_attempts: int = 8
+    max_attempts: int = 16
+    """The single source of truth for RPC attempt limits: everything
+    that counts attempts (the client submit loop, its straggler
+    watchdog guard) derives from this field rather than keeping a
+    parallel constant."""
 
     def as_attrs(self) -> dict:
         """Span-attribute summary of this policy, so backoff spans in
@@ -29,7 +33,15 @@ class RetryPolicy:
         }
 
     def delay(self, attempt: int, rng: random.Random) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
+        """Backoff before retry number ``attempt`` (1-based).
+
+        .. note:: **Legacy.** Centred jitter keeps retriers correlated
+           around the same expected wait; every RPC/txn retry path now
+           uses :meth:`full_jitter_delay` instead.  This survives only
+           for the client's straggler resubmit pacing, where staying
+           near the expected wait is intentional (the resubmit races
+           the original, it does not replace it).
+        """
         if attempt < 1:
             raise ValueError("attempt is 1-based")
         raw = min(self.base_ms * (self.factor ** (attempt - 1)), self.max_ms)

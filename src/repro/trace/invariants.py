@@ -100,10 +100,16 @@ class CoherenceChecker(Checker):
         self.open_rounds: Dict[
             int, Tuple[str, Tuple[str, ...], Optional[str], Optional[int]]
         ] = {}
-        # actor -> path -> True (validly cached) / False (invalidated)
-        self.validity: Dict[str, Dict[str, bool]] = {}
+        # actor -> path -> True (validly cached) or the sim-time the
+        # entry was invalidated (a float; kept so bounded-staleness
+        # hits can be verified against the *checker's own* clock, not
+        # the server's claim).
+        self.validity: Dict[str, Dict[str, Any]] = {}
         self.commits_checked = 0
         self.hits_checked = 0
+        self.stale_hits_ok = 0
+        """Bounded-staleness hits served within their declared bound
+        (the resilience degradation path, verified rather than waived)."""
 
     def observe(self, phase: str, span: Span) -> None:
         kind = span.kind
@@ -125,6 +131,7 @@ class CoherenceChecker(Checker):
                 span.attrs.get("member", span.actor),
                 tuple(span.attrs.get("paths", ())),
                 span.attrs.get("prefix"),
+                span.start_ms,
             )
         elif kind == "nn.commit":
             self._check_commit(span)
@@ -134,7 +141,8 @@ class CoherenceChecker(Checker):
             # A local invalidation (leader refreshing its own cache);
             # ``prefix`` covers subtree invalidations.
             self._mark_invalid(
-                span.actor, (span.attrs["path"],), span.attrs.get("prefix")
+                span.actor, (span.attrs["path"],), span.attrs.get("prefix"),
+                span.start_ms,
             )
         elif kind == "nn.cache_hit":
             self._check_hit(span)
@@ -159,24 +167,55 @@ class CoherenceChecker(Checker):
     def _check_hit(self, span: Span) -> None:
         self.hits_checked += 1
         path = span.attrs["path"]
-        if self.validity.get(span.actor, {}).get(path) is False:
+        value = self.validity.get(span.actor, {}).get(path)
+        if value is None or value is True:
+            return
+        # The entry was invalidated on this NameNode.  A hit declaring
+        # ``bounded_stale`` is the resilience degradation path: legal
+        # iff the staleness — measured against the invalidation time
+        # *this checker* recorded, not the server's claim — is within
+        # the declared bound.  An undeclared hit is the original
+        # coherence violation.
+        if span.attrs.get("bounded_stale"):
+            bound = span.attrs.get("stale_bound_ms")
+            invalidated_at = value if isinstance(value, float) else None
+            staleness = (
+                span.start_ms - invalidated_at
+                if invalidated_at is not None
+                else span.attrs.get("staleness_ms")
+            )
+            if bound is not None and staleness is not None and staleness <= bound:
+                self.stale_hits_ok += 1
+                return
             self._flag(
-                "stale-cache-hit",
-                f"{span.actor} served cached read of {path!r} after it was "
-                f"invalidated on this NameNode",
+                "stale-hit-beyond-bound",
+                f"{span.actor} served bounded-stale read of {path!r} "
+                f"{staleness if staleness is not None else '?'} ms after "
+                f"invalidation (bound {bound} ms)",
                 span,
             )
+            return
+        self._flag(
+            "stale-cache-hit",
+            f"{span.actor} served cached read of {path!r} after it was "
+            f"invalidated on this NameNode",
+            span,
+        )
 
     def _mark_invalid(
-        self, actor: str, paths: Tuple[str, ...], prefix: Optional[str]
+        self,
+        actor: str,
+        paths: Tuple[str, ...],
+        prefix: Optional[str],
+        at_ms: float = 0.0,
     ) -> None:
         state = self.validity.setdefault(actor, {})
         for path in paths:
-            state[path] = False
+            state[path] = at_ms
         if prefix is not None:
             for path in state:
                 if _covers((), prefix, path):
-                    state[path] = False
+                    state[path] = at_ms
 
 
 class LockDisciplineChecker(Checker):

@@ -116,7 +116,29 @@ class Tracer:
         self._ids = count(1)
         self._hash = hashlib.blake2b(digest_size=16)
         self.events_hashed = 0
+        self.connections_opened = 0
+        self.connections_closed = 0
         env.tracer = self
+
+    # -- connection accounting -------------------------------------------
+    def connection_opened(self) -> None:
+        """One TCP connection came up (rpc layer hook)."""
+        self.connections_opened += 1
+
+    def connection_closed(self) -> None:
+        """One TCP connection went down (rpc layer hook)."""
+        self.connections_closed += 1
+
+    @property
+    def open_connections(self) -> int:
+        """Connections opened but never closed — leak tripwire.
+
+        A nonzero count at run end (after the system tears down) means
+        some timeout/error path dropped a :class:`TcpConnection`
+        without calling ``close()``; surfaced in :meth:`summary` next
+        to ``open_spans`` so leaks stay visible.
+        """
+        return self.connections_opened - self.connections_closed
 
     def detach(self) -> None:
         """Disconnect from the environment (tracing turns off)."""
@@ -272,5 +294,6 @@ class Tracer:
             "points": self.points,
             "dropped": self.dropped,
             "open_spans": len(self.open_spans()),
+            "open_connections": self.open_connections,
             "violations": len(self.violations()),
         }

@@ -1,0 +1,1 @@
+from tests.chaos.conftest import reset_sim_counters  # noqa: F401

@@ -143,10 +143,11 @@ def test_summary_shape():
     summary = tracer.summary()
     assert set(summary) == {
         "event_hash", "events_hashed", "spans", "points", "dropped",
-        "open_spans", "violations",
+        "open_spans", "open_connections", "violations",
     }
     assert summary["spans"] == 1 and summary["violations"] == 0
     assert summary["open_spans"] == 0
+    assert summary["open_connections"] == 0
 
 
 def test_open_spans_surfaces_leaks():
